@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Scenarios are session-scoped: they are deterministic and shared by every
+figure that uses the standard world.  Each benchmark prints its figure's
+table and saves it under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.harness import standard_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scenario_std():
+    """The default evaluation world (14x14 grid, 240 trips, 10 queries)."""
+    return standard_scenario(seed=7, n_queries=10)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(table, results_dir: Path, name: str) -> None:
+    """Print a figure table and persist it."""
+    text = table.format()
+    print("\n" + text)
+    table.save(results_dir / f"{name}.txt")

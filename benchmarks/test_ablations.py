@@ -1,0 +1,65 @@
+"""Ablation study: the design choices DESIGN.md §5 calls out.
+
+Not a paper figure — a reproduction-quality check.  Each ablation disables
+one mechanism of the full system and measures the accuracy impact on the
+standard scenario at a 7-minute sampling interval (the regime where the
+mechanisms matter most):
+
+* ``no splicing``        — Definition 7 references off (Sec. III-A.2),
+* ``no augmentation``    — traverse-graph augmentation off (Alg. 1 line 9),
+* ``no reduction``       — traverse-graph reduction off (Alg. 1 line 10),
+* ``raw entropy``        — the literal eq. (1) without normalisation,
+* ``no shortest cand.``  — endpoint shortest path not offered per stage,
+* ``no sharing``         — NNI transit-graph sharing off (affects cost
+                           only; accuracy should be unchanged-ish).
+"""
+
+from repro.core.system import HRIS, HRISConfig, HRISMatcher
+from repro.eval.harness import ExperimentTable, evaluate_accuracy_and_time
+
+from conftest import emit
+
+INTERVAL_S = 420.0
+
+ABLATIONS = {
+    "full system": {},
+    "no splicing": {"enable_splicing": False},
+    "no augmentation": {"use_augmentation": False},
+    "no reduction": {"use_reduction": False},
+    "raw entropy": {"normalize_entropy": False},
+    "no shortest cand.": {"include_shortest_candidate": False},
+    "no sharing": {"share_substructures": False},
+}
+
+
+def test_ablations(benchmark, scenario_std, results_dir):
+    sc = scenario_std
+    table = ExperimentTable(
+        "Ablations: accuracy / seconds at a 7-minute interval", "variant"
+    )
+    results = {}
+    for name, overrides in ABLATIONS.items():
+        matcher = HRISMatcher(
+            HRIS(sc.network, sc.archive, HRISConfig(**overrides))
+        )
+        acc, secs = evaluate_accuracy_and_time(
+            sc.network, matcher, sc.queries, INTERVAL_S
+        )
+        results[name] = acc
+        table.record(name, "accuracy", acc)
+        table.record(name, "seconds", secs)
+    emit(table, results_dir, "ablations")
+
+    full = results["full system"]
+    # Turning off entropy normalisation (the documented fix for the raw
+    # formula's length bias) must hurt.
+    assert results["raw entropy"] < full - 0.02
+    # No single ablation should *improve* on the full system by much.
+    for name, acc in results.items():
+        assert acc <= full + 0.05, f"{name} beats the full system: {acc} > {full}"
+
+    matcher = HRISMatcher(HRIS(sc.network, sc.archive, HRISConfig()))
+    from repro.trajectory.resample import downsample
+
+    query = downsample(sc.queries[0].query, INTERVAL_S)
+    benchmark.pedantic(lambda: matcher.match(query), rounds=3, iterations=1)

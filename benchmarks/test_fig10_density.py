@@ -1,0 +1,86 @@
+"""Figure 10: TGI vs NNI as a function of reference-point density.
+
+The paper controls the density ρ of reference points (points/km²); we
+control it through the archive trip count and report the observed mean
+density alongside.  Expected shape (paper): both methods gain accuracy
+with density; NNI is competitive at low density while TGI scales better —
+its accuracy rises faster and its running time stays flat while NNI's
+recursion cost climbs.
+"""
+
+import numpy as np
+
+from repro.core.reference import ReferenceSearch
+from repro.core.system import HRIS, HRISConfig, HRISMatcher
+from repro.eval.harness import (
+    ExperimentTable,
+    density_family,
+    evaluate_accuracy_and_time,
+)
+from repro.trajectory.resample import downsample
+
+from conftest import emit
+
+TRIP_COUNTS = [10, 30, 60, 120, 240]
+INTERVAL_S = 300.0
+
+
+def observed_density(scenario, interval=INTERVAL_S):
+    """Mean reference density over the pairs of the scenario's queries."""
+    from repro.core.hybrid import reference_density_per_km2
+
+    hcfg = HRISConfig()
+    search = ReferenceSearch(
+        scenario.archive, scenario.network, hcfg.reference_config()
+    )
+    densities = []
+    for case in scenario.queries[:4]:
+        q = downsample(case.query, interval)
+        for i in range(len(q) - 1):
+            refs = search.search(q[i], q[i + 1])
+            d = reference_density_per_km2(refs)
+            if np.isfinite(d):
+                densities.append(d)
+    return float(np.mean(densities)) if densities else 0.0
+
+
+def test_fig10_density(benchmark, results_dir):
+    acc_table = ExperimentTable("Fig 10a: accuracy vs reference density", "trips")
+    time_table = ExperimentTable("Fig 10b: time vs reference density", "trips")
+    rho_table = ExperimentTable("Fig 10 (aux): observed density", "trips")
+
+    family = density_family(TRIP_COUNTS)
+    for trips in TRIP_COUNTS:
+        scenario = family[trips]
+        rho = observed_density(scenario)
+        rho_table.record(trips, "rho_per_km2", rho)
+        for method in ("tgi", "nni"):
+            matcher = HRISMatcher(
+                HRIS(
+                    scenario.network,
+                    scenario.archive,
+                    HRISConfig(local_method=method),
+                )
+            )
+            acc, secs = evaluate_accuracy_and_time(
+                scenario.network, matcher, scenario.queries, INTERVAL_S
+            )
+            acc_table.record(trips, method.upper(), acc)
+            time_table.record(trips, method.upper(), secs)
+
+    emit(acc_table, results_dir, "fig10a")
+    emit(time_table, results_dir, "fig10b")
+    emit(rho_table, results_dir, "fig10_density")
+
+    # Both methods must benefit from more history.
+    for method in ("TGI", "NNI"):
+        series = acc_table._series[method]
+        assert series[TRIP_COUNTS[-1]] >= series[TRIP_COUNTS[0]] - 0.05
+
+    # Kernel: one TGI-mode inference at the densest setting.
+    scenario = family[TRIP_COUNTS[-1]]
+    matcher = HRISMatcher(
+        HRIS(scenario.network, scenario.archive, HRISConfig(local_method="tgi"))
+    )
+    query = downsample(scenario.queries[0].query, INTERVAL_S)
+    benchmark.pedantic(lambda: matcher.match(query), rounds=1, iterations=1)

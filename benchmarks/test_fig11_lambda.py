@@ -1,0 +1,98 @@
+"""Figure 11: effect of λ (the hop-neighborhood radius in TGI).
+
+* Fig. 11a — TGI accuracy vs λ at sampling intervals of 3/9/15 minutes.
+* Fig. 11b — TGI running time with vs without graph reduction.
+
+Expected shape (paper): accuracy climbs with λ (sparser queries need a
+larger λ to keep the traverse graph connected) and peaks; the reduction
+optimisation costs more than it saves at tiny λ but wins as λ — and with
+it the number of redundant links — grows.
+"""
+
+import pytest
+
+from repro.core.system import HRIS, HRISConfig, HRISMatcher
+from repro.eval.harness import (
+    ExperimentTable,
+    evaluate_accuracy_and_time,
+    sparse_scenario,
+)
+from repro.trajectory.resample import downsample
+
+from conftest import emit
+
+LAMBDAS = [1, 2, 4, 6, 8]
+INTERVALS_S = [180.0, 540.0, 900.0]
+TIMING_INTERVAL_S = 540.0
+
+
+@pytest.fixture(scope="module")
+def scenario_sparse():
+    return sparse_scenario()
+
+
+def test_fig11a_accuracy(benchmark, scenario_sparse, results_dir):
+    sc = scenario_sparse
+    table = ExperimentTable("Fig 11a: TGI accuracy vs lambda", "lambda")
+    for lam in LAMBDAS:
+        matcher = HRISMatcher(
+            HRIS(sc.network, sc.archive, HRISConfig(lam=lam, local_method="tgi"))
+        )
+        for interval in INTERVALS_S:
+            label = f"SR={int(interval // 60)}min"
+            acc, __ = evaluate_accuracy_and_time(
+                sc.network, matcher, sc.queries, interval
+            )
+            table.record(lam, label, acc)
+    emit(table, results_dir, "fig11a")
+
+    # λ=1 (no links at all beyond augmentation) must be clearly worse than
+    # the default λ=4 at every interval.
+    for interval in INTERVALS_S:
+        label = f"SR={int(interval // 60)}min"
+        series = table._series[label]
+        assert series[4] > series[1]
+
+    matcher = HRISMatcher(
+        HRIS(sc.network, sc.archive, HRISConfig(lam=4, local_method="tgi"))
+    )
+    query = downsample(sc.queries[0].query, 540.0)
+    benchmark.pedantic(lambda: matcher.match(query), rounds=3, iterations=1)
+
+
+def test_fig11b_reduction_time(benchmark, scenario_sparse, results_dir):
+    sc = scenario_sparse
+    table = ExperimentTable(
+        "Fig 11b: TGI time vs lambda, with/without reduction", "lambda"
+    )
+    for lam in LAMBDAS:
+        for reduction, label in ((True, "with reduction"), (False, "no reduction")):
+            matcher = HRISMatcher(
+                HRIS(
+                    sc.network,
+                    sc.archive,
+                    HRISConfig(
+                        lam=lam, local_method="tgi", use_reduction=reduction
+                    ),
+                )
+            )
+            __, secs = evaluate_accuracy_and_time(
+                sc.network, matcher, sc.queries, TIMING_INTERVAL_S
+            )
+            table.record(lam, label, secs)
+    emit(table, results_dir, "fig11b")
+
+    # Time grows with λ in both variants.
+    for label in ("with reduction", "no reduction"):
+        series = table._series[label]
+        assert series[LAMBDAS[-1]] >= series[LAMBDAS[0]] * 0.8
+
+    matcher = HRISMatcher(
+        HRIS(
+            sc.network,
+            sc.archive,
+            HRISConfig(lam=8, local_method="tgi", use_reduction=True),
+        )
+    )
+    query = downsample(sc.queries[0].query, TIMING_INTERVAL_S)
+    benchmark.pedantic(lambda: matcher.match(query), rounds=3, iterations=1)

@@ -1,0 +1,90 @@
+"""Figure 12: effect of k1 (K of the K-shortest-path search in TGI).
+
+* Fig. 12a — accuracy vs k1 at sampling intervals of 3/9/15 minutes.
+* Fig. 12b — running time vs k1, with vs without graph reduction.
+
+Expected shape (paper): accuracy saturates for small k1 (4–8 suffices);
+running time grows with k1; the reduction optimisation matters more at
+larger k1.
+"""
+
+import pytest
+
+from repro.core.system import HRIS, HRISConfig, HRISMatcher
+from repro.eval.harness import (
+    ExperimentTable,
+    evaluate_accuracy_and_time,
+    sparse_scenario,
+)
+from repro.trajectory.resample import downsample
+
+from conftest import emit
+
+K1S = [1, 2, 4, 8, 12]
+INTERVALS_S = [180.0, 540.0, 900.0]
+TIMING_INTERVAL_S = 540.0
+
+
+@pytest.fixture(scope="module")
+def scenario_sparse():
+    return sparse_scenario()
+
+
+def test_fig12a_accuracy(benchmark, scenario_sparse, results_dir):
+    sc = scenario_sparse
+    table = ExperimentTable("Fig 12a: accuracy vs k1", "k1")
+    for k1 in K1S:
+        matcher = HRISMatcher(
+            HRIS(sc.network, sc.archive, HRISConfig(k1=k1, local_method="tgi"))
+        )
+        for interval in INTERVALS_S:
+            label = f"SR={int(interval // 60)}min"
+            acc, __ = evaluate_accuracy_and_time(
+                sc.network, matcher, sc.queries, interval
+            )
+            table.record(k1, label, acc)
+    emit(table, results_dir, "fig12a")
+
+    # A moderate k1 suffices: k1=4 reaches within a few points of k1=12.
+    for interval in INTERVALS_S:
+        label = f"SR={int(interval // 60)}min"
+        series = table._series[label]
+        assert series[4] >= series[12] - 0.08
+
+    matcher = HRISMatcher(
+        HRIS(sc.network, sc.archive, HRISConfig(k1=4, local_method="tgi"))
+    )
+    query = downsample(sc.queries[0].query, 540.0)
+    benchmark.pedantic(lambda: matcher.match(query), rounds=3, iterations=1)
+
+
+def test_fig12b_time(benchmark, scenario_sparse, results_dir):
+    sc = scenario_sparse
+    table = ExperimentTable(
+        "Fig 12b: time vs k1, with/without reduction", "k1"
+    )
+    for k1 in K1S:
+        for reduction, label in ((True, "with reduction"), (False, "no reduction")):
+            matcher = HRISMatcher(
+                HRIS(
+                    sc.network,
+                    sc.archive,
+                    HRISConfig(k1=k1, local_method="tgi", use_reduction=reduction),
+                )
+            )
+            __, secs = evaluate_accuracy_and_time(
+                sc.network, matcher, sc.queries, TIMING_INTERVAL_S
+            )
+            table.record(k1, label, secs)
+    emit(table, results_dir, "fig12b")
+
+    # Running time grows with k1.
+    for label in ("with reduction", "no reduction"):
+        series = table._series[label]
+        assert series[12] >= series[1]
+
+    matcher = HRISMatcher(
+        HRIS(sc.network, sc.archive, HRISConfig(k1=12, local_method="tgi"))
+    )
+    query = downsample(sc.queries[0].query, TIMING_INTERVAL_S)
+    benchmark.pedantic(lambda: matcher.match(query), rounds=3, iterations=1)

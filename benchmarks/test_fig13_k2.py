@@ -1,0 +1,121 @@
+"""Figure 13: effect of k2 (the constrained-kNN width in NNI).
+
+* Fig. 13a — accuracy vs k2 at sampling intervals of 3/9/15 minutes.
+* Fig. 13b — running time vs k2, with vs without substructure sharing.
+
+Expected shape (paper): larger intervals need a larger k2 to reach their
+best accuracy; time grows with k2 (wider recursion trees); sharing the
+common substructures (the transit graph) cuts the kNN-search count and the
+running time.
+"""
+
+import pytest
+
+from repro.core.nni import NearestNeighborInference, NNIConfig
+from repro.core.reference import ReferenceSearch
+from repro.core.system import HRIS, HRISConfig, HRISMatcher
+from repro.eval.harness import (
+    ExperimentTable,
+    evaluate_accuracy_and_time,
+    standard_scenario,
+)
+from repro.trajectory.resample import downsample
+
+from conftest import emit
+
+K2S = [1, 2, 4, 6, 8]
+INTERVALS_S = [180.0, 540.0, 900.0]
+TIMING_INTERVAL_S = 540.0
+
+
+def test_fig13a_accuracy(benchmark, scenario_std, results_dir):
+    sc = scenario_std
+    table = ExperimentTable("Fig 13a: accuracy vs k2", "k2")
+    for k2 in K2S:
+        matcher = HRISMatcher(
+            HRIS(sc.network, sc.archive, HRISConfig(k2=k2, local_method="nni"))
+        )
+        for interval in INTERVALS_S:
+            label = f"SR={int(interval // 60)}min"
+            acc, __ = evaluate_accuracy_and_time(
+                sc.network, matcher, sc.queries, interval
+            )
+            table.record(k2, label, acc)
+    emit(table, results_dir, "fig13a")
+
+    # The clear signal: a single-successor walk (k2=1) explores too little
+    # and loses to every wider setting at every interval.
+    for interval in INTERVALS_S:
+        label = f"SR={int(interval // 60)}min"
+        series = table._series[label]
+        assert series[1] <= max(series[k] for k in K2S if k > 1)
+
+    matcher = HRISMatcher(
+        HRIS(sc.network, sc.archive, HRISConfig(k2=4, local_method="nni"))
+    )
+    query = downsample(sc.queries[0].query, 540.0)
+    benchmark.pedantic(lambda: matcher.match(query), rounds=3, iterations=1)
+
+
+def test_fig13b_sharing_time(benchmark, scenario_std, results_dir):
+    sc = scenario_std
+    time_table = ExperimentTable(
+        "Fig 13b: time vs k2, with/without substructure sharing", "k2"
+    )
+    knn_table = ExperimentTable(
+        "Fig 13b (aux): kNN searches per pair, with/without sharing", "k2"
+    )
+    search = ReferenceSearch(
+        sc.archive, sc.network, HRISConfig().reference_config()
+    )
+    # One representative query, its per-pair references precomputed.
+    query = downsample(sc.queries[0].query, TIMING_INTERVAL_S)
+    pair_refs = [
+        (query[i], query[i + 1], search.search(query[i], query[i + 1]))
+        for i in range(len(query) - 1)
+    ]
+
+    for k2 in K2S:
+        for sharing, label in ((True, "shared"), (False, "unshared")):
+            matcher = HRISMatcher(
+                HRIS(
+                    sc.network,
+                    sc.archive,
+                    HRISConfig(
+                        k2=k2, local_method="nni", share_substructures=sharing
+                    ),
+                )
+            )
+            __, secs = evaluate_accuracy_and_time(
+                sc.network, matcher, sc.queries, TIMING_INTERVAL_S
+            )
+            time_table.record(k2, label, secs)
+
+            nni = NearestNeighborInference(
+                sc.network,
+                NNIConfig(k=k2, share_substructures=sharing),
+            )
+            searches = 0
+            for qi, qi1, refs in pair_refs:
+                __, stats = nni.infer(qi.point, qi1.point, refs)
+                searches += stats.n_knn_searches
+            knn_table.record(k2, label, searches / max(len(pair_refs), 1))
+    emit(time_table, results_dir, "fig13b")
+    emit(knn_table, results_dir, "fig13b_knn")
+
+    # Sharing cuts the kNN-search count for every k2 >= 2.  (At k2=1 the
+    # single memoised successor is usually already on the walk, so the
+    # shared mode pays for a fresh search on top of the memoised one.)
+    for k2 in K2S:
+        if k2 < 2:
+            continue
+        assert (
+            knn_table._series["shared"][k2]
+            <= knn_table._series["unshared"][k2] + 1e-9
+        )
+
+    matcher = HRISMatcher(
+        HRIS(sc.network, sc.archive, HRISConfig(k2=8, local_method="nni"))
+    )
+    q = downsample(sc.queries[0].query, TIMING_INTERVAL_S)
+    benchmark.pedantic(lambda: matcher.match(q), rounds=3, iterations=1)

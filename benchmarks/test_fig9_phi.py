@@ -1,0 +1,76 @@
+"""Figure 9: effect of the reference search radius φ.
+
+* Fig. 9a — accuracy vs φ at sampling intervals of 3/9/15 minutes.
+* Fig. 9b — running time vs φ at the same intervals.
+
+Expected shape (paper): accuracy rises with φ and saturates once enough
+references are found (sparser queries need a larger φ); running time grows
+with φ because more references flow into the local inference.
+"""
+
+import pytest
+
+from repro.core.system import HRIS, HRISConfig, HRISMatcher
+from repro.eval.harness import (
+    ExperimentTable,
+    evaluate_accuracy_and_time,
+    sparse_scenario,
+)
+
+from conftest import emit
+
+PHIS = [100.0, 300.0, 500.0, 700.0, 900.0]
+INTERVALS_S = [180.0, 540.0, 900.0]
+
+
+@pytest.fixture(scope="module")
+def scenario_sparse():
+    # φ matters when history is sparse and low-rate: the nearest archive
+    # point of a passing trajectory can be hundreds of metres from the
+    # query point, so a small radius misses it (Sec. III-A's motivation).
+    return sparse_scenario()
+
+
+def sweep(scenario):
+    """One (accuracy, time) measurement per (φ, interval) cell."""
+    acc_table = ExperimentTable("Fig 9a: accuracy vs phi", "phi_m")
+    time_table = ExperimentTable("Fig 9b: time vs phi", "phi_m")
+    for phi in PHIS:
+        matcher = HRISMatcher(
+            HRIS(scenario.network, scenario.archive, HRISConfig(phi=phi))
+        )
+        for interval in INTERVALS_S:
+            label = f"SR={int(interval // 60)}min"
+            acc, secs = evaluate_accuracy_and_time(
+                scenario.network, matcher, scenario.queries, interval
+            )
+            acc_table.record(int(phi), label, acc)
+            time_table.record(int(phi), label, secs)
+    return acc_table, time_table
+
+
+def test_fig9a_accuracy(benchmark, scenario_sparse, results_dir):
+    acc_table, time_table = sweep(scenario_sparse)
+    emit(acc_table, results_dir, "fig9a")
+    emit(time_table, results_dir, "fig9b")
+
+    # Accuracy at the default φ=500 must dominate the smallest radius for
+    # every interval (more references help), and saturate rather than grow
+    # without bound.
+    for interval in INTERVALS_S:
+        label = f"SR={int(interval // 60)}min"
+        series = acc_table._series[label]
+        assert series[500] >= series[100] - 0.05
+        assert abs(series[900] - series[500]) < 0.15  # saturation band
+
+    # Larger φ costs more time at the highest sampling rate.
+    fast = time_table._series["SR=3min"]
+    assert fast[700] >= fast[100]
+
+    # Kernel: one inference at the default radius.
+    sc = scenario_sparse
+    matcher = HRISMatcher(HRIS(sc.network, sc.archive, HRISConfig(phi=500.0)))
+    from repro.trajectory.resample import downsample
+
+    query = downsample(sc.queries[0].query, 180.0)
+    benchmark.pedantic(lambda: matcher.match(query), rounds=3, iterations=1)

@@ -1,0 +1,90 @@
+"""Infrastructure micro-benchmarks.
+
+Not paper figures — performance tracking for the substrates every
+experiment stands on.  pytest-benchmark records proper statistics here
+(many rounds), unlike the figure benchmarks which only need one
+representative kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import ReferenceSearch, ReferenceSearchConfig
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+from repro.roadnet.generators import GridCityConfig, grid_city
+from repro.roadnet.ksp import yen_k_shortest_paths
+from repro.roadnet.shortest_path import dijkstra
+from repro.spatial.rtree import RTree
+
+
+@pytest.fixture(scope="module")
+def big_network():
+    return grid_city(GridCityConfig(nx=30, ny=30), np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def points_50k():
+    rng = np.random.default_rng(5)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, 20_000, size=(50_000, 2))]
+
+
+def test_rtree_bulk_load_50k(benchmark, points_50k):
+    def build():
+        return RTree.bulk_load(
+            ((BBox.from_point(p), i) for i, p in enumerate(points_50k)),
+            max_entries=32,
+        )
+
+    tree = benchmark(build)
+    assert len(tree) == 50_000
+
+
+def test_rtree_radius_query(benchmark, points_50k):
+    tree = RTree.bulk_load(
+        ((BBox.from_point(p), i) for i, p in enumerate(points_50k)), max_entries=32
+    )
+    center = Point(10_000.0, 10_000.0)
+
+    result = benchmark(lambda: tree.search_radius(center, 500.0))
+    assert result  # the uniform cloud guarantees hits
+
+
+def test_rtree_knn(benchmark, points_50k):
+    tree = RTree.bulk_load(
+        ((BBox.from_point(p), i) for i, p in enumerate(points_50k)), max_entries=32
+    )
+    center = Point(10_000.0, 10_000.0)
+
+    result = benchmark(lambda: tree.nearest(center, 10))
+    assert len(result) == 10
+
+
+def test_dijkstra_900_nodes(benchmark, big_network):
+    d, path = benchmark(lambda: dijkstra(big_network, 0, 899))
+    assert path
+
+
+def test_yen_k5_on_network(benchmark, big_network):
+    def adjacency(node):
+        return (
+            (big_network.segment(s).end, big_network.segment(s).length)
+            for s in big_network.out_segments(node)
+        )
+
+    paths = benchmark.pedantic(
+        lambda: yen_k_shortest_paths(adjacency, 0, 464, 5), rounds=3, iterations=1
+    )
+    assert len(paths) == 5
+
+
+def test_reference_search(benchmark, scenario_std):
+    sc = scenario_std
+    search = ReferenceSearch(
+        sc.archive, sc.network, ReferenceSearchConfig(phi=500.0)
+    )
+    q = sc.queries[0].query
+    qi, qi1 = q[0], q[len(q) - 1]
+
+    refs = benchmark(lambda: search.search(qi, qi1))
+    assert isinstance(refs, list)

@@ -1,0 +1,44 @@
+"""Table II: the default parameter set of the system.
+
+Prints the reproduction's defaults next to the paper's and asserts they
+match where the parameter has a direct counterpart.
+"""
+
+from repro.core.system import HRISConfig
+
+from conftest import emit
+from repro.eval.harness import ExperimentTable
+
+PAPER_DEFAULTS = {
+    "phi (m)": 500.0,
+    "tau (pts/km^2)": 200.0,
+    "lambda": 4,
+    "k1": 5,
+    "k2": 4,
+    "k3": 5,
+    "alpha (m)": 500.0,
+    "beta": 1.5,
+}
+
+
+def test_table2_defaults(benchmark, results_dir):
+    cfg = HRISConfig()
+    ours = {
+        "phi (m)": cfg.phi,
+        "tau (pts/km^2)": cfg.tau,
+        "lambda": cfg.lam,
+        "k1": cfg.k1,
+        "k2": cfg.k2,
+        "k3": cfg.k3,
+        "alpha (m)": cfg.alpha,
+        "beta": cfg.beta,
+    }
+    table = ExperimentTable("Table II: default parameters", "parameter")
+    for name, value in PAPER_DEFAULTS.items():
+        table.record(name, "paper", float(value))
+        table.record(name, "ours", float(ours[name]))
+    emit(table, results_dir, "table2")
+
+    assert ours == PAPER_DEFAULTS
+
+    benchmark.pedantic(HRISConfig, rounds=10, iterations=1)

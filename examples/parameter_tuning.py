@@ -1,0 +1,95 @@
+"""Parameter tuning walkthrough: how φ, λ and k3 shape HRIS behaviour.
+
+Reproduces the paper's parameter studies in miniature on one scenario so
+the trade-offs are visible in seconds:
+
+* φ (reference search radius) — too small finds no references, too large
+  wastes time on irrelevant ones;
+* λ (traverse-graph hop radius) — too small disconnects the graph;
+* k3 (global routes returned) — more suggestions raise the best-case
+  accuracy but dilute the average.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+import numpy as np
+
+from repro import HRIS, HRISConfig, HRISMatcher
+from repro.eval import (
+    ExperimentTable,
+    evaluate_accuracy_and_time,
+    route_accuracy,
+    sparse_scenario,
+)
+from repro.trajectory import downsample
+
+INTERVAL_S = 300.0
+
+
+def sweep_phi(scenario) -> ExperimentTable:
+    table = ExperimentTable("phi sweep (accuracy / seconds)", "phi_m")
+    for phi in (100.0, 300.0, 500.0, 800.0):
+        matcher = HRISMatcher(
+            HRIS(scenario.network, scenario.archive, HRISConfig(phi=phi))
+        )
+        acc, secs = evaluate_accuracy_and_time(
+            scenario.network, matcher, scenario.queries, INTERVAL_S
+        )
+        table.record(int(phi), "accuracy", acc)
+        table.record(int(phi), "seconds", secs)
+    return table
+
+
+def sweep_lambda(scenario) -> ExperimentTable:
+    table = ExperimentTable("lambda sweep (TGI accuracy)", "lambda")
+    for lam in (1, 2, 4, 6):
+        matcher = HRISMatcher(
+            HRIS(
+                scenario.network,
+                scenario.archive,
+                HRISConfig(lam=lam, local_method="tgi"),
+            )
+        )
+        acc, secs = evaluate_accuracy_and_time(
+            scenario.network, matcher, scenario.queries, INTERVAL_S
+        )
+        table.record(lam, "accuracy", acc)
+        table.record(lam, "seconds", secs)
+    return table
+
+
+def sweep_k3(scenario) -> ExperimentTable:
+    table = ExperimentTable("k3 sweep (average vs best-of-k accuracy)", "k3")
+    hris = HRIS(scenario.network, scenario.archive, HRISConfig())
+    for k3 in (1, 3, 5, 8):
+        avgs, maxs = [], []
+        for case in scenario.queries:
+            query = downsample(case.query, INTERVAL_S)
+            if len(query) < 2:
+                continue
+            routes = hris.infer_routes(query, k3)
+            accs = [
+                route_accuracy(scenario.network, case.truth, g.route)
+                for g in routes
+            ]
+            avgs.append(float(np.mean(accs)))
+            maxs.append(float(np.max(accs)))
+        table.record(k3, "average", float(np.mean(avgs)))
+        table.record(k3, "best-of-k", float(np.mean(maxs)))
+    return table
+
+
+def main() -> None:
+    print("Building a history-poor scenario (where tuning matters most)...")
+    scenario = sparse_scenario()
+    for sweep in (sweep_phi, sweep_lambda, sweep_k3):
+        print()
+        print(sweep(scenario).format())
+    print(
+        "\nTable II defaults (phi=500, lambda=4, k3=5) sit on the "
+        "accuracy plateau of each sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

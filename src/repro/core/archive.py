@@ -1,0 +1,149 @@
+"""Trajectory archive: the preprocessed historical database.
+
+The preprocessing component of Fig. 2: raw GPS logs are partitioned into
+trips (stay-point removal), optionally aligned to the road network, and all
+GPS points are organised in an R-tree so the reference-trajectory search can
+issue the two range queries of Sec. III-A efficiently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+from repro.spatial.rtree import RTree
+from repro.trajectory.model import GPSPoint, Trajectory
+from repro.trajectory.staypoint import partition_trips
+
+__all__ = ["ArchivePoint", "TrajectoryArchive"]
+
+
+@dataclass(frozen=True, slots=True)
+class ArchivePoint:
+    """A reference into the archive: which trajectory, which observation."""
+
+    traj_id: int
+    index: int
+
+
+class TrajectoryArchive:
+    """An indexed collection of historical trips.
+
+    Build with :meth:`add` / :meth:`from_trips`, or run the full
+    preprocessing pipeline over raw logs with :meth:`from_raw_logs`.  The
+    point R-tree is built lazily on first spatial query and invalidated on
+    mutation.
+    """
+
+    def __init__(self) -> None:
+        self._trajectories: Dict[int, Trajectory] = {}
+        self._index: Optional[RTree[ArchivePoint]] = None
+        self._next_id = 0
+
+    # ---------------------------------------------------------------- builder
+
+    def add(self, trajectory: Trajectory) -> int:
+        """Add a trip, re-identifying it; returns the assigned id."""
+        new_id = self._next_id
+        self._next_id += 1
+        self._trajectories[new_id] = Trajectory(new_id, trajectory.points)
+        self._index = None
+        return new_id
+
+    def remove(self, traj_id: int) -> bool:
+        """Remove a trip by id (e.g. retention expiry).
+
+        Returns:
+            True if the trip existed.
+        """
+        if traj_id not in self._trajectories:
+            return False
+        del self._trajectories[traj_id]
+        self._index = None
+        return True
+
+    @classmethod
+    def from_trips(cls, trips: Iterable[Trajectory]) -> "TrajectoryArchive":
+        archive = cls()
+        for t in trips:
+            archive.add(t)
+        return archive
+
+    @classmethod
+    def from_raw_logs(
+        cls,
+        logs: Iterable[Trajectory],
+        stay_distance: float = 200.0,
+        stay_time: float = 20.0 * 60.0,
+        max_gap_s: float = 30.0 * 60.0,
+        min_points: int = 2,
+    ) -> "TrajectoryArchive":
+        """Preprocess raw multi-trip GPS logs: trip partition then indexing.
+
+        This is the "Trip Partition" box of the paper's Fig. 2 applied to
+        every log, with each resulting trip stored as its own archive entry.
+        """
+        archive = cls()
+        for log in logs:
+            for trip in partition_trips(
+                log, stay_distance, stay_time, max_gap_s, min_points
+            ):
+                archive.add(trip)
+        return archive
+
+    # ----------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def __contains__(self, traj_id: int) -> bool:
+        return traj_id in self._trajectories
+
+    @property
+    def num_points(self) -> int:
+        return sum(len(t) for t in self._trajectories.values())
+
+    def trajectory(self, traj_id: int) -> Trajectory:
+        return self._trajectories[traj_id]
+
+    def trajectories(self) -> Iterable[Trajectory]:
+        return self._trajectories.values()
+
+    def point(self, ref: ArchivePoint) -> GPSPoint:
+        return self._trajectories[ref.traj_id].points[ref.index]
+
+    # ---------------------------------------------------------------- queries
+
+    def _ensure_index(self) -> RTree[ArchivePoint]:
+        if self._index is None:
+            entries = []
+            for tid, traj in self._trajectories.items():
+                for i, p in enumerate(traj.points):
+                    entries.append((BBox.from_point(p.point), ArchivePoint(tid, i)))
+            self._index = RTree.bulk_load(entries, max_entries=32)
+        return self._index
+
+    def points_near(self, q: Point, radius: float) -> List[ArchivePoint]:
+        """All archive observations within ``radius`` of ``q``."""
+        index = self._ensure_index()
+        return index.search_radius(q, radius, position=lambda ref: self.point(ref).point)
+
+    def trajectories_near(self, q: Point, radius: float) -> Dict[int, List[int]]:
+        """Trajectory ids with at least one observation within ``radius``,
+        mapped to the indices of those observations (sorted)."""
+        hits: Dict[int, List[int]] = {}
+        for ref in self.points_near(q, radius):
+            hits.setdefault(ref.traj_id, []).append(ref.index)
+        for indices in hits.values():
+            indices.sort()
+        return hits
+
+    def density_per_km2(self, region: BBox) -> float:
+        """Archive observations per km² inside ``region``."""
+        if region.area == 0.0:
+            return 0.0
+        index = self._ensure_index()
+        count = len(index.search_bbox(region))
+        return count / (region.area / 1_000_000.0)

@@ -1,0 +1,274 @@
+"""Network-free route inference (the paper's second future-work item).
+
+"We will also extend our solution to deal with the case where the road
+network is not available, which is a more challenging problem."
+(Sec. VI.)  This module provides that extension: the inferred "routes" are
+representative **polylines** instead of road-segment sequences, so the
+system works for hiking trails, open water, unmapped regions or animal
+tracks.
+
+Method, per query pair:
+
+1. flatten the references into their sub-trajectory polylines (resampled
+   to a fixed spacing so geometry, not sampling cadence, drives distances),
+2. cluster the polylines greedily under a discrete-Fréchet-style distance
+   threshold (each cluster = one corridor; cluster size = popularity),
+3. return one representative per cluster — the *medoid* (smallest summed
+   distance to its cluster mates), clipped and anchored to the query pair.
+
+Global inference connects consecutive local corridors with the same
+transition-confidence idea as the network version: corridors supported by
+the same source trajectories chain preferentially.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.core.reference import Reference
+from repro.core.scoring import LOG_EPSILON, transition_confidence
+from repro.geo.point import Point
+from repro.geo.polyline import polyline_length, resample_polyline
+from repro.trajectory.model import Trajectory
+
+__all__ = [
+    "FreeRoute",
+    "FreeGlobalRoute",
+    "FreeSpaceConfig",
+    "FreeSpaceInference",
+    "discrete_frechet",
+]
+
+
+def discrete_frechet(a: Sequence[Point], b: Sequence[Point]) -> float:
+    """Discrete Fréchet distance between two polylines.
+
+    The classic O(n·m) dynamic program ("dog walking" distance); unlike
+    Hausdorff it respects the order of traversal, so two corridors that
+    overlap spatially but run through it differently stay far apart.
+
+    Raises:
+        ValueError: If either polyline is empty.
+    """
+    if not a or not b:
+        raise ValueError("Fréchet distance of an empty polyline is undefined")
+    n, m = len(a), len(b)
+    prev = [0.0] * m
+    prev[0] = a[0].distance_to(b[0])
+    for j in range(1, m):
+        prev[j] = max(prev[j - 1], a[0].distance_to(b[j]))
+    for i in range(1, n):
+        cur = [0.0] * m
+        cur[0] = max(prev[0], a[i].distance_to(b[0]))
+        for j in range(1, m):
+            reach = min(prev[j], prev[j - 1], cur[j - 1])
+            cur[j] = max(reach, a[i].distance_to(b[j]))
+        prev = cur
+    return prev[m - 1]
+
+
+@dataclass(frozen=True, slots=True)
+class FreeRoute:
+    """A local corridor inferred without a road network.
+
+    Attributes:
+        polyline: Representative geometry from ``q_i`` to ``q_{i+1}``.
+        support: Ids of the references in the corridor's cluster.
+    """
+
+    polyline: Tuple[Point, ...]
+    support: FrozenSet[int]
+
+    @property
+    def popularity(self) -> float:
+        """Cluster size — the corridor's popularity."""
+        return float(len(self.support))
+
+    def length(self) -> float:
+        return polyline_length(self.polyline)
+
+
+@dataclass(frozen=True, slots=True)
+class FreeGlobalRoute:
+    """A scored network-free global route."""
+
+    log_score: float
+    polyline: Tuple[Point, ...]
+    local_supports: Tuple[FrozenSet[int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FreeSpaceConfig:
+    """Parameters of the network-free inference.
+
+    Attributes:
+        resample_spacing_m: Arc-length spacing used to normalise reference
+            polylines before distance computations.
+        cluster_distance_m: Fréchet threshold under which two references
+            belong to the same corridor.
+        max_routes: Corridors returned per pair.
+    """
+
+    resample_spacing_m: float = 100.0
+    cluster_distance_m: float = 250.0
+    max_routes: int = 5
+
+    def __post_init__(self) -> None:
+        if self.resample_spacing_m <= 0 or self.cluster_distance_m <= 0:
+            raise ValueError("distances must be positive")
+        if self.max_routes < 1:
+            raise ValueError("max_routes must be at least 1")
+
+
+class FreeSpaceInference:
+    """Route inference that never touches a road network."""
+
+    def __init__(self, config: FreeSpaceConfig = FreeSpaceConfig()) -> None:
+        self._config = config
+
+    # ------------------------------------------------------------- local
+
+    def infer_local(
+        self, qi: Point, qi1: Point, references: Sequence[Reference]
+    ) -> List[FreeRoute]:
+        """Corridors between one query pair, most popular first."""
+        cfg = self._config
+        normalised: List[Tuple[int, List[Point]]] = []
+        for ref in references:
+            if len(ref.points) < 1:
+                continue
+            anchored = [qi, *ref.points, qi1]
+            normalised.append(
+                (ref.ref_id, resample_polyline(anchored, cfg.resample_spacing_m))
+            )
+        if not normalised:
+            return []
+
+        # Greedy leader clustering under the Fréchet threshold.
+        clusters: List[List[Tuple[int, List[Point]]]] = []
+        for item in normalised:
+            placed = False
+            for cluster in clusters:
+                if (
+                    discrete_frechet(item[1], cluster[0][1])
+                    <= cfg.cluster_distance_m
+                ):
+                    cluster.append(item)
+                    placed = True
+                    break
+            if not placed:
+                clusters.append([item])
+
+        routes: List[FreeRoute] = []
+        for cluster in clusters:
+            medoid = self._medoid(cluster)
+            routes.append(
+                FreeRoute(
+                    polyline=tuple(medoid),
+                    support=frozenset(ref_id for ref_id, __ in cluster),
+                )
+            )
+        routes.sort(key=lambda r: (-r.popularity, r.length()))
+        return routes[: cfg.max_routes]
+
+    @staticmethod
+    def _medoid(cluster: List[Tuple[int, List[Point]]]) -> List[Point]:
+        if len(cluster) == 1:
+            return cluster[0][1]
+        best_idx = 0
+        best_cost = math.inf
+        for i, (__, poly_i) in enumerate(cluster):
+            cost = sum(
+                discrete_frechet(poly_i, poly_j)
+                for j, (__j, poly_j) in enumerate(cluster)
+                if j != i
+            )
+            if cost < best_cost:
+                best_cost = cost
+                best_idx = i
+        return cluster[best_idx][1]
+
+    # ------------------------------------------------------------ global
+
+    def infer(
+        self,
+        query: Trajectory,
+        reference_search,
+        k: int = 3,
+    ) -> List[FreeGlobalRoute]:
+        """Top-``k`` network-free global routes for a whole query.
+
+        Args:
+            query: The low-sampling-rate query trajectory.
+            reference_search: A :class:`~repro.core.reference.ReferenceSearch`
+                (its road network is used only for the V_max speed budget of
+                Definition 6 — no routing happens).
+            k: Number of global routes.
+
+        Raises:
+            ValueError: If the query has fewer than two points.
+        """
+        if len(query) < 2:
+            raise ValueError("a query needs at least two points")
+        if k < 1:
+            raise ValueError("k must be at least 1")
+
+        stages: List[List[FreeRoute]] = []
+        for i in range(len(query) - 1):
+            qi, qi1 = query[i], query[i + 1]
+            references = reference_search.search(qi, qi1)
+            local = self.infer_local(qi.point, qi1.point, references)
+            if not local:
+                # Data-sparse fallback: the straight line.
+                local = [
+                    FreeRoute(
+                        polyline=(qi.point, qi1.point), support=frozenset()
+                    )
+                ]
+            stages.append(local)
+
+        # Exactly the K-GRI dynamic program, over corridors: per stage and
+        # per corridor, keep the k best partial routes ending there.
+        def log(x: float) -> float:
+            return math.log(max(x, LOG_EPSILON))
+
+        per_j: List[List[Tuple[float, Tuple[int, ...]]]] = [
+            [(log(r.popularity), (j,))] for j, r in enumerate(stages[0])
+        ]
+        for i in range(1, len(stages)):
+            nxt: List[List[Tuple[float, Tuple[int, ...]]]] = []
+            for j, r in enumerate(stages[i]):
+                merged: List[Tuple[float, Tuple[int, ...]]] = []
+                for pk, partials in enumerate(per_j):
+                    g = transition_confidence(stages[i - 1][pk].support, r.support)
+                    for score, indices in partials:
+                        merged.append(
+                            (score + log(g) + log(r.popularity), indices + (j,))
+                        )
+                merged.sort(key=lambda pair: pair[0], reverse=True)
+                nxt.append(merged[:k])
+            per_j = nxt
+
+        final = [item for partials in per_j for item in partials]
+        final.sort(key=lambda pair: pair[0], reverse=True)
+        out: List[FreeGlobalRoute] = []
+        for score, indices in final[:k]:
+            polyline: List[Point] = []
+            supports: List[FrozenSet[int]] = []
+            for stage_idx, route_idx in enumerate(indices):
+                r = stages[stage_idx][route_idx]
+                pts = list(r.polyline)
+                if polyline and pts and polyline[-1] == pts[0]:
+                    pts = pts[1:]
+                polyline.extend(pts)
+                supports.append(r.support)
+            out.append(
+                FreeGlobalRoute(
+                    log_score=score,
+                    polyline=tuple(polyline),
+                    local_supports=tuple(supports),
+                )
+            )
+        return out

@@ -1,0 +1,373 @@
+"""Reference-trajectory search (Sec. III-A, Definitions 6 and 7).
+
+Given a consecutive query-point pair ``<q_i, q_{i+1}>``, find the historical
+trajectories that hint at how objects travel between the two locations:
+
+* **simple references** (Definition 6) — trajectories with a point within φ
+  of both query points, travelling in the right direction, every in-between
+  point satisfying the speed-ellipse condition
+  ``d(p, q_i) + d(p, q_{i+1}) <= Δt · V_max``;
+* **spliced references** (Definition 7) — virtual trajectories formed by
+  joining the tail of a trajectory leaving ``q_i`` with the head of another
+  arriving at ``q_{i+1}``, when the two come within ε of each other.
+
+The search uses the archive R-tree exactly as the paper describes: two
+range queries, a join on trajectory ids for simple references, and an
+on-line spatial join between the two leftover candidate sets for splices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.archive import TrajectoryArchive
+from repro.geo.point import Point
+from repro.roadnet.network import RoadNetwork
+from repro.spatial.grid import GridIndex
+from repro.trajectory.model import GPSPoint, Trajectory
+
+__all__ = [
+    "Reference",
+    "ReferencePoint",
+    "ReferenceSearch",
+    "ReferenceSearchConfig",
+    "movement_direction",
+    "reference_traversed_segments",
+    "time_of_day_difference_s",
+]
+
+#: Seconds per day, for time-of-day arithmetic.
+SECONDS_PER_DAY = 86_400.0
+
+
+def time_of_day_difference_s(t_a: float, t_b: float) -> float:
+    """Circular time-of-day distance between two timestamps, in seconds.
+
+    ``23:50`` and ``00:10`` are 20 minutes apart, not 23 h 40 min.
+    """
+    a = t_a % SECONDS_PER_DAY
+    b = t_b % SECONDS_PER_DAY
+    d = abs(a - b)
+    return min(d, SECONDS_PER_DAY - d)
+
+
+@dataclass(frozen=True, slots=True)
+class ReferencePoint:
+    """One observation of a reference, tagged with its owner.
+
+    Attributes:
+        point: Planar coordinate.
+        ref_id: Id of the reference (unique within one search call).
+        seq: Position of this point within the reference.
+    """
+
+    point: Point
+    ref_id: int
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class Reference:
+    """A reference trajectory for one query pair.
+
+    Attributes:
+        ref_id: Id unique within the search call (the unit the popularity
+            function counts).
+        source_ids: Archive trajectory id(s) backing this reference — one
+            for a simple reference, two for a spliced one.
+        points: The ordered observations from the ``q_i`` side to the
+            ``q_{i+1}`` side (the sub-trajectory ``T_i^k``).
+        spliced: True for Definition 7 references.
+    """
+
+    ref_id: int
+    source_ids: Tuple[int, ...]
+    points: Tuple[Point, ...]
+    spliced: bool
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def movement_direction(points: Sequence[Point], index: int) -> Point:
+    """Local direction of travel at ``points[index]`` (central difference).
+
+    Returns the (unnormalised) vector from the previous to the next point —
+    a zero vector for a single-point sequence or coincident neighbors.
+    """
+    prev_p = points[max(index - 1, 0)]
+    next_p = points[min(index + 1, len(points) - 1)]
+    return next_p - prev_p
+
+
+def reference_traversed_segments(
+    network: RoadNetwork, reference: "Reference", candidate_radius: float
+) -> Set[int]:
+    """Segments a reference plausibly travels on.
+
+    The paper's preprocessing map-matches archive points onto segments, so
+    a reference supports the *directed* segment it is moving along — not
+    the opposite carriageway.  We approximate that matching by taking each
+    point's candidate edges (Definition 5) and keeping only those whose
+    direction agrees with the local movement direction (positive dot
+    product); points with no discernible movement keep all candidates.
+    """
+    traversed: Set[int] = set()
+    pts = reference.points
+    for i, p in enumerate(pts):
+        direction = movement_direction(pts, i)
+        moving = direction.norm() > 0.0
+        for cand in network.candidate_edges(p, candidate_radius):
+            seg = cand.segment
+            if moving:
+                seg_dir = seg.polyline[-1] - seg.polyline[0]
+                if direction.dot(seg_dir) < 0.0:
+                    continue
+            traversed.add(seg.segment_id)
+    return traversed
+
+
+@dataclass(frozen=True, slots=True)
+class ReferenceSearchConfig:
+    """Parameters of the reference search.
+
+    Attributes:
+        phi: Search radius φ around each query point (Table II: 500 m).
+        splice_epsilon: Max gap ε between the two halves of a splice.
+        enable_splicing: Whether to search for spliced references at all.
+        splice_when_fewer_than: Spliced references are only searched when
+            fewer than this many simple references were found.  The paper
+            introduces splicing for "an area with sparse historical data"
+            where simple references are too few to support the inference;
+            in dense areas splices join unrelated trajectories and only add
+            noise (quantified in benchmarks/test_ablations.py).
+        max_references: Cap on returned references (closest kept) so a dense
+            downtown pair cannot flood the local inference.
+        time_of_day_window_s: When set, only trajectories whose anchor
+            observation (the point nearest q_i) occurred within this
+            time-of-day window of the query qualify as references — the
+            "incorporate the time" extension of the paper's future work
+            (commute-hour patterns differ from midnight patterns).  None
+            (the default, and the paper's behaviour) disables the filter.
+    """
+
+    phi: float = 500.0
+    splice_epsilon: float = 300.0
+    enable_splicing: bool = True
+    splice_when_fewer_than: int = 5
+    max_references: int = 60
+    time_of_day_window_s: Optional[float] = None
+
+
+class ReferenceSearch:
+    """Searches an archive for the references of a query-point pair."""
+
+    def __init__(
+        self,
+        archive: TrajectoryArchive,
+        network: RoadNetwork,
+        config: ReferenceSearchConfig = ReferenceSearchConfig(),
+    ) -> None:
+        self._archive = archive
+        self._network = network
+        self._config = config
+
+    def search(self, qi: GPSPoint, qi1: GPSPoint) -> List[Reference]:
+        """All references w.r.t. ``<q_i, q_{i+1}>``, simple ones first.
+
+        Raises:
+            ValueError: If the pair is not in temporal order.
+        """
+        if qi1.t <= qi.t:
+            raise ValueError("query points must be in temporal order")
+        cfg = self._config
+        budget = (qi1.t - qi.t) * self._network.max_speed
+
+        near_i = self._archive.trajectories_near(qi.point, cfg.phi)
+        near_j = self._archive.trajectories_near(qi1.point, cfg.phi)
+
+        references: List[Reference] = []
+        simple_ids: Set[int] = set()
+        for tid in near_i.keys() & near_j.keys():
+            if not self._in_time_window(tid, qi):
+                continue
+            sub = self._simple_subtrajectory(tid, qi.point, qi1.point, budget)
+            if sub is not None:
+                references.append(
+                    Reference(
+                        ref_id=len(references),
+                        source_ids=(tid,),
+                        points=sub,
+                        spliced=False,
+                    )
+                )
+                simple_ids.add(tid)
+
+        if cfg.enable_splicing and len(references) < cfg.splice_when_fewer_than:
+            references.extend(
+                self._spliced_references(
+                    qi, qi1, near_i, near_j, simple_ids, budget, len(references)
+                )
+            )
+
+        if len(references) > cfg.max_references:
+            references = self._closest_references(references, qi.point, qi1.point)
+        return references
+
+    def reference_points(self, references: Sequence[Reference]) -> List[ReferencePoint]:
+        """Flatten references into the tagged point pool ``P_i``."""
+        pool: List[ReferencePoint] = []
+        for ref in references:
+            for seq, p in enumerate(ref.points):
+                pool.append(ReferencePoint(p, ref.ref_id, seq))
+        return pool
+
+    # -------------------------------------------------------------- internals
+
+    def _in_time_window(self, tid: int, qi: GPSPoint) -> bool:
+        """Time-of-day filter (see ``time_of_day_window_s``)."""
+        window = self._config.time_of_day_window_s
+        if window is None:
+            return True
+        traj = self._archive.trajectory(tid)
+        anchor = traj.points[traj.nearest_index(qi.point)]
+        return time_of_day_difference_s(anchor.t, qi.t) <= window
+
+    def _closest_references(
+        self, references: List[Reference], qi: Point, qi1: Point
+    ) -> List[Reference]:
+        """Keep the references hugging the query pair tightest, re-idded."""
+
+        def tightness(ref: Reference) -> float:
+            return ref.points[0].distance_to(qi) + ref.points[-1].distance_to(qi1)
+
+        kept = sorted(references, key=tightness)[: self._config.max_references]
+        return [
+            Reference(
+                ref_id=i,
+                source_ids=r.source_ids,
+                points=r.points,
+                spliced=r.spliced,
+            )
+            for i, r in enumerate(kept)
+        ]
+
+    def _simple_subtrajectory(
+        self, tid: int, qi: Point, qi1: Point, budget: float
+    ) -> Optional[Tuple[Point, ...]]:
+        """Definition 6 check for one candidate trajectory.
+
+        Returns the sub-trajectory point tuple when the trajectory
+        qualifies, None otherwise.
+        """
+        traj = self._archive.trajectory(tid)
+        m = traj.nearest_index(qi)
+        n = traj.nearest_index(qi1)
+        # Condition 2: both anchors inside the φ circles.
+        if traj.points[m].point.distance_to(qi) > self._config.phi:
+            return None
+        if traj.points[n].point.distance_to(qi1) > self._config.phi:
+            return None
+        # Direction: the reference must travel from q_i towards q_{i+1}.
+        if m > n:
+            return None
+        points = tuple(p.point for p in traj.points[m : n + 1])
+        # Condition 3: the speed ellipse.
+        if not self._within_ellipse(points, qi, qi1, budget):
+            return None
+        return points
+
+    @staticmethod
+    def _within_ellipse(
+        points: Sequence[Point], qi: Point, qi1: Point, budget: float
+    ) -> bool:
+        return all(p.distance_to(qi) + p.distance_to(qi1) <= budget for p in points)
+
+    def _spliced_references(
+        self,
+        qi: GPSPoint,
+        qi1: GPSPoint,
+        near_i: Dict[int, List[int]],
+        near_j: Dict[int, List[int]],
+        simple_ids: Set[int],
+        budget: float,
+        next_ref_id: int,
+    ) -> List[Reference]:
+        """Definition 7: join tails leaving q_i with heads reaching q_{i+1}."""
+        cfg = self._config
+        # Candidate halves: trajectories near exactly one endpoint, minus
+        # the ones already accepted as simple references.
+        tail_ids = [
+            t for t in near_i if t not in simple_ids and self._in_time_window(t, qi)
+        ]
+        head_ids = [t for t in near_j if t not in simple_ids]
+        if not tail_ids or not head_ids:
+            return []
+
+        # Tail of T_a: observations from nn(q_i, T_a) onwards.
+        tails: Dict[int, Tuple[int, Trajectory]] = {}
+        for tid in tail_ids:
+            traj = self._archive.trajectory(tid)
+            m = traj.nearest_index(qi.point)
+            if traj.points[m].point.distance_to(qi.point) > cfg.phi:
+                continue
+            tails[tid] = (m, traj)
+        # Head of T_b: observations up to nn(q_{i+1}, T_b).
+        heads: Dict[int, Tuple[int, Trajectory]] = {}
+        for tid in head_ids:
+            traj = self._archive.trajectory(tid)
+            n = traj.nearest_index(qi1.point)
+            if traj.points[n].point.distance_to(qi1.point) > cfg.phi:
+                continue
+            heads[tid] = (n, traj)
+        if not tails or not heads:
+            return []
+
+        # On-line spatial join: index all head observations in a grid, probe
+        # with every tail observation, keep the best splice pair per
+        # trajectory pair (minimum d(p_a, q_i) + d(p_b, q_{i+1}), as the
+        # paper specifies).
+        head_grid: GridIndex[Tuple[int, int]] = GridIndex(
+            max(cfg.splice_epsilon, 1.0)
+        )
+        for tid, (n, traj) in heads.items():
+            for idx in range(0, n + 1):
+                head_grid.insert(traj.points[idx].point, (tid, idx))
+
+        best_pair: Dict[Tuple[int, int], Tuple[float, int, int]] = {}
+        for a_tid, (m, a_traj) in tails.items():
+            for a_idx in range(m, len(a_traj.points)):
+                pa = a_traj.points[a_idx].point
+                for b_tid, b_idx in head_grid.search_radius(pa, cfg.splice_epsilon):
+                    if b_tid == a_tid:
+                        continue
+                    pb = self._archive.trajectory(b_tid).points[b_idx].point
+                    cost = pa.distance_to(qi.point) + pb.distance_to(qi1.point)
+                    key = (a_tid, b_tid)
+                    if key not in best_pair or cost < best_pair[key][0]:
+                        best_pair[key] = (cost, a_idx, b_idx)
+
+        out: List[Reference] = []
+        for (a_tid, b_tid), (__, a_idx, b_idx) in best_pair.items():
+            m, a_traj = tails[a_tid]
+            n, b_traj = heads[b_tid]
+            points = tuple(
+                [p.point for p in a_traj.points[m : a_idx + 1]]
+                + [p.point for p in b_traj.points[b_idx : n + 1]]
+            )
+            if len(points) < 2:
+                continue
+            # Condition 1 of Definition 7: the splice must satisfy the
+            # simple-reference conditions, notably the speed ellipse.
+            if not self._within_ellipse(points, qi.point, qi1.point, budget):
+                continue
+            out.append(
+                Reference(
+                    ref_id=next_ref_id + len(out),
+                    source_ids=(a_tid, b_tid),
+                    points=points,
+                    spliced=True,
+                )
+            )
+        return out

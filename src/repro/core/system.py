@@ -1,0 +1,323 @@
+"""HRIS — the History-based Route Inference System facade (Fig. 2).
+
+Wires the whole pipeline together.  Offline: a preprocessed, R-tree-indexed
+:class:`~repro.core.archive.TrajectoryArchive`.  Online, per query:
+
+1. split the query into consecutive point pairs and run the
+   reference-trajectory search (Sec. III-A) for each pair;
+2. infer local routes per pair with TGI / NNI / the density hybrid
+   (Sec. III-B), falling back to the network shortest path when a pair has
+   no usable references (data sparseness never aborts a query);
+3. score local routes (eq. 1), connect them with K-GRI (Sec. III-C) and
+   return the top-K global routes.
+
+:class:`HRISMatcher` adapts the top-1 route to the
+:class:`~repro.mapmatching.base.MapMatcher` interface so HRIS plugs into
+the same evaluation harness as the competitor matchers — the paper's
+map-matching case study.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.archive import TrajectoryArchive
+from repro.core.hybrid import HybridConfig, HybridInference, reference_density_per_km2
+from repro.core.kgri import GlobalRoute, k_gri
+from repro.core.nni import NearestNeighborInference, NNIConfig
+from repro.core.reference import Reference, ReferenceSearch, ReferenceSearchConfig
+from repro.core.scoring import (
+    LocalRoute,
+    compute_segment_support,
+    score_local_routes,
+)
+from repro.core.traverse_graph import TGIConfig, TraverseGraphInference
+from repro.geo.point import Point
+from repro.mapmatching.base import MapMatcher, MatchResult
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import Route
+from repro.roadnet.shortest_path import shortest_route_between_segments
+from repro.trajectory.model import Trajectory
+
+__all__ = ["HRISConfig", "HRIS", "HRISMatcher", "PairDetail", "InferenceDetail"]
+
+
+@dataclass(frozen=True, slots=True)
+class HRISConfig:
+    """All tunables of the system — Table II of the paper.
+
+    Attributes:
+        phi: Reference search radius φ (500 m).
+        tau: Hybrid density threshold τ (200 points/km²).
+        lam: λ-neighborhood radius in TGI (4).
+        k1: K of the K-shortest-path search in TGI (5).
+        k2: k of the constrained kNN in NNI (4).
+        k3: K of the global route inference (5).
+        alpha: α backward tolerance in NNI (500 m).
+        beta: β detour tolerance in NNI (1.5).
+        candidate_radius: ε of candidate-edge searches (50 m).
+        splice_epsilon: Splice gap ε of Definition 7 (300 m).
+        enable_splicing: Search spliced references at all.
+        splice_when_fewer_than: Splice only when fewer simple references
+            than this were found (splicing targets data-sparse areas).
+        local_method: ``"hybrid"`` (default), ``"tgi"`` or ``"nni"``.
+        entropy_floor: Popularity entropy floor (see scoring module).
+        normalize_entropy: Normalise the popularity entropy factor to
+            [0, 1] (removes the raw formula's length bias; see scoring).
+        max_local_routes: Cap on local routes per pair.
+        max_references: Cap on references per pair.
+        use_reduction: TGI graph-reduction toggle.
+        use_augmentation: TGI graph-augmentation toggle.
+        share_substructures: NNI transit-graph sharing toggle.
+        include_shortest_candidate: Always add the endpoint shortest path
+            as one candidate local route per pair; it wins only when the
+            references actually support it, and guarantees every stage has
+            a sane geometric baseline even when the inference goes astray.
+        max_detour_ratio: Local routes longer than this multiple of the
+            endpoint shortest-path distance are discarded before scoring
+            (equation (1) has no notion of length, so grossly detouring
+            candidates must never reach it).
+        time_of_day_window_s: Optional time-of-day reference filter (the
+            paper's "incorporate the time" future work); None disables it.
+    """
+
+    phi: float = 500.0
+    tau: float = 200.0
+    lam: int = 4
+    k1: int = 5
+    k2: int = 4
+    k3: int = 5
+    alpha: float = 500.0
+    beta: float = 1.5
+    candidate_radius: float = 50.0
+    splice_epsilon: float = 300.0
+    enable_splicing: bool = True
+    splice_when_fewer_than: int = 5
+    local_method: str = "hybrid"
+    entropy_floor: float = 0.05
+    normalize_entropy: bool = True
+    max_local_routes: int = 10
+    max_references: int = 60
+    use_reduction: bool = True
+    use_augmentation: bool = True
+    share_substructures: bool = True
+    include_shortest_candidate: bool = True
+    max_detour_ratio: float = 1.5
+    time_of_day_window_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.local_method not in ("hybrid", "tgi", "nni"):
+            raise ValueError(f"unknown local_method {self.local_method!r}")
+
+    def tgi_config(self) -> TGIConfig:
+        return TGIConfig(
+            lam=self.lam,
+            k_shortest=self.k1,
+            candidate_radius=self.candidate_radius,
+            use_augmentation=self.use_augmentation,
+            use_reduction=self.use_reduction,
+            max_routes=self.max_local_routes,
+            max_detour_ratio=self.max_detour_ratio,
+        )
+
+    def nni_config(self) -> NNIConfig:
+        return NNIConfig(
+            k=self.k2,
+            alpha=self.alpha,
+            beta=self.beta,
+            share_substructures=self.share_substructures,
+            candidate_radius=self.candidate_radius,
+            max_routes=self.max_local_routes,
+            max_detour_ratio=self.max_detour_ratio,
+        )
+
+    def reference_config(self) -> ReferenceSearchConfig:
+        return ReferenceSearchConfig(
+            phi=self.phi,
+            splice_epsilon=self.splice_epsilon,
+            enable_splicing=self.enable_splicing,
+            splice_when_fewer_than=self.splice_when_fewer_than,
+            max_references=self.max_references,
+            time_of_day_window_s=self.time_of_day_window_s,
+        )
+
+
+@dataclass(slots=True)
+class PairDetail:
+    """Diagnostics for one query-point pair."""
+
+    n_references: int
+    n_spliced: int
+    density: float
+    method: str
+    n_local_routes: int
+    fallback: bool
+
+
+@dataclass(slots=True)
+class InferenceDetail:
+    """Diagnostics for a full query inference."""
+
+    pairs: List[PairDetail] = field(default_factory=list)
+    reference_time_s: float = 0.0
+    local_time_s: float = 0.0
+    global_time_s: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        return self.reference_time_s + self.local_time_s + self.global_time_s
+
+
+class HRIS:
+    """History-based Route Inference System."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        archive: TrajectoryArchive,
+        config: HRISConfig = HRISConfig(),
+    ) -> None:
+        self._network = network
+        self._archive = archive
+        self._config = config
+        self._reference_search = ReferenceSearch(
+            archive, network, config.reference_config()
+        )
+        self._tgi = TraverseGraphInference(network, config.tgi_config())
+        self._nni = NearestNeighborInference(network, config.nni_config())
+        self._hybrid = HybridInference(
+            network,
+            HybridConfig(tau=config.tau, tgi=config.tgi_config(), nni=config.nni_config()),
+        )
+
+    @property
+    def config(self) -> HRISConfig:
+        return self._config
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    def infer_routes(
+        self, query: Trajectory, k: Optional[int] = None
+    ) -> List[GlobalRoute]:
+        """The top-K possible routes of a low-sampling-rate query.
+
+        Args:
+            query: The query trajectory (at least two points).
+            k: Number of global routes; defaults to the configured k3.
+
+        Raises:
+            ValueError: If the query has fewer than two points.
+        """
+        routes, __ = self.infer_routes_with_details(query, k)
+        return routes
+
+    def infer_routes_with_details(
+        self, query: Trajectory, k: Optional[int] = None
+    ) -> Tuple[List[GlobalRoute], InferenceDetail]:
+        """As :meth:`infer_routes`, also returning per-phase diagnostics."""
+        if len(query) < 2:
+            raise ValueError("a query needs at least two points")
+        k = k if k is not None else self._config.k3
+        detail = InferenceDetail()
+
+        stages: List[List[LocalRoute]] = []
+        for i in range(len(query) - 1):
+            qi, qi1 = query[i], query[i + 1]
+
+            t0 = time.perf_counter()
+            references = self._reference_search.search(qi, qi1)
+            detail.reference_time_s += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            stage, pair_detail = self._local_stage(qi.point, qi1.point, references)
+            detail.local_time_s += time.perf_counter() - t0
+            detail.pairs.append(pair_detail)
+            stages.append(stage)
+
+        t0 = time.perf_counter()
+        result = k_gri(self._network, stages, k)
+        detail.global_time_s += time.perf_counter() - t0
+        return result, detail
+
+    # -------------------------------------------------------------- internal
+
+    def _local_stage(
+        self, qi: Point, qi1: Point, references: Sequence[Reference]
+    ) -> Tuple[List[LocalRoute], PairDetail]:
+        cfg = self._config
+        method = cfg.local_method
+        routes: List[Route] = []
+        if references:
+            if method == "tgi":
+                routes, __ = self._tgi.infer(qi, qi1, references)
+            elif method == "nni":
+                routes, __ = self._nni.infer(qi, qi1, references)
+            else:
+                routes, method = self._hybrid.infer(qi, qi1, references)
+
+        sp = self._shortest_path_fallback(qi, qi1)
+        if sp is not None:
+            # Hard guard: equation (1) cannot compare routes of wildly
+            # different lengths, so candidates grossly longer than the
+            # direct connection never reach the scoring stage.
+            bound = sp.length(self._network) * cfg.max_detour_ratio
+            routes = [r for r in routes if r.length(self._network) <= bound]
+        fallback = not routes
+        if sp is not None and (fallback or cfg.include_shortest_candidate):
+            if all(sp.segment_ids != r.segment_ids for r in routes):
+                routes = list(routes) + [sp]
+        if not routes:
+            raise RuntimeError(
+                "no local route between query points — the road network is "
+                "not connected around the query"
+            )
+
+        support = compute_segment_support(
+            self._network, references, cfg.candidate_radius
+        )
+        stage = score_local_routes(
+            routes, support, cfg.entropy_floor, cfg.normalize_entropy
+        )
+        pair_detail = PairDetail(
+            n_references=len(references),
+            n_spliced=sum(1 for r in references if r.spliced),
+            density=reference_density_per_km2(references),
+            method=method if not fallback else "fallback",
+            n_local_routes=len(stage),
+            fallback=fallback,
+        )
+        return stage, pair_detail
+
+    def _shortest_path_fallback(self, qi: Point, qi1: Point) -> Optional[Route]:
+        """Network shortest path between the points' nearest segments."""
+        src = self._network.nearest_segments(qi, 1)
+        dst = self._network.nearest_segments(qi1, 1)
+        if not src or not dst:
+            return None
+        gap, route = shortest_route_between_segments(
+            self._network, src[0].segment.segment_id, dst[0].segment.segment_id
+        )
+        if math.isinf(gap):
+            return None
+        return route
+
+
+class HRISMatcher(MapMatcher):
+    """Adapter: HRIS top-1 global route as a map matcher.
+
+    This is exactly how the paper evaluates HRIS ("for fairness, we use the
+    top-1 global route to compute the accuracy of our approach").
+    """
+
+    def __init__(self, hris: HRIS) -> None:
+        self._hris = hris
+
+    def match(self, trajectory: Trajectory) -> MatchResult:
+        routes = self._hris.infer_routes(trajectory, k=1)
+        route = routes[0].route if routes else Route.empty()
+        return MatchResult(route=route, matched=tuple([None] * len(trajectory)))

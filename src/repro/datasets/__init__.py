@@ -1,0 +1,26 @@
+"""Synthetic dataset generation (substitute for the paper's taxi archive)."""
+
+from repro.datasets.io import load_scenario, save_scenario
+from repro.datasets.synthetic import (
+    LengthScenario,
+    QueryCase,
+    Scenario,
+    ScenarioConfig,
+    alternative_routes,
+    build_length_scenario,
+    build_scenario,
+    zipf_weights,
+)
+
+__all__ = [
+    "LengthScenario",
+    "QueryCase",
+    "Scenario",
+    "ScenarioConfig",
+    "alternative_routes",
+    "build_length_scenario",
+    "load_scenario",
+    "save_scenario",
+    "build_scenario",
+    "zipf_weights",
+]

@@ -1,0 +1,82 @@
+"""Scenario persistence.
+
+Saves a built scenario to a directory as three artefacts — the road
+network, the archive trips and the query cases — so experiments can be
+generated once and shared or re-run from disk (and so the CLI has a
+working-set format).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.archive import TrajectoryArchive
+from repro.datasets.synthetic import QueryCase, Scenario, ScenarioConfig
+from repro.roadnet.io import load_network, save_network
+from repro.roadnet.route import Route
+from repro.trajectory.io import load_trajectories, save_trajectories, trajectory_from_dict, trajectory_to_dict
+
+__all__ = ["save_scenario", "load_scenario"]
+
+_NETWORK_FILE = "network.json"
+_ARCHIVE_FILE = "archive.jsonl"
+_QUERIES_FILE = "queries.json"
+
+
+def save_scenario(scenario: Scenario, directory: Union[str, Path]) -> Path:
+    """Write a scenario's network, archive and queries to ``directory``.
+
+    Returns:
+        The directory path.  Demand-model internals (OD routes and choice
+        probabilities) are not persisted — they are generator metadata, not
+        inputs to the inference.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_network(scenario.network, directory / _NETWORK_FILE)
+    save_trajectories(scenario.archive.trajectories(), directory / _ARCHIVE_FILE)
+    queries = [
+        {
+            "query": trajectory_to_dict(case.query),
+            "truth": list(case.truth.segment_ids),
+        }
+        for case in scenario.queries
+    ]
+    with open(directory / _QUERIES_FILE, "w", encoding="utf-8") as f:
+        json.dump({"format": "repro-queries-v1", "cases": queries}, f)
+    return directory
+
+
+def load_scenario(directory: Union[str, Path]) -> Scenario:
+    """Read a scenario saved by :func:`save_scenario`.
+
+    Raises:
+        FileNotFoundError: If any artefact is missing.
+        ValueError: On format mismatches.
+    """
+    directory = Path(directory)
+    network = load_network(directory / _NETWORK_FILE)
+    archive = TrajectoryArchive.from_trips(
+        load_trajectories(directory / _ARCHIVE_FILE)
+    )
+    with open(directory / _QUERIES_FILE, "r", encoding="utf-8") as f:
+        payload = json.load(f)
+    if payload.get("format") != "repro-queries-v1":
+        raise ValueError(f"unknown queries format: {payload.get('format')!r}")
+    queries = [
+        QueryCase(
+            query=trajectory_from_dict(case["query"]),
+            truth=Route.of([int(s) for s in case["truth"]]),
+        )
+        for case in payload["cases"]
+    ]
+    return Scenario(
+        network=network,
+        archive=archive,
+        od_routes=[],
+        route_probabilities=[],
+        queries=queries,
+        config=ScenarioConfig(),
+    )

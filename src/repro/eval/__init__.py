@@ -1,0 +1,46 @@
+"""Evaluation: the paper's accuracy metric and experiment harness."""
+
+from repro.eval.harness import (
+    ExperimentTable,
+    density_family,
+    density_scenario,
+    evaluate_accuracy,
+    evaluate_accuracy_and_time,
+    sparse_scenario,
+    standard_scenario,
+)
+from repro.eval.svg import PALETTE, SVGMap
+from repro.eval.uncertainty import (
+    UncertaintyReport,
+    count_plausible_routes,
+    score_entropy,
+    uncertainty_report,
+)
+from repro.eval.metrics import (
+    lcr_length,
+    overlap_accuracy,
+    overlap_length,
+    precision_recall,
+    route_accuracy,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "density_family",
+    "density_scenario",
+    "evaluate_accuracy",
+    "evaluate_accuracy_and_time",
+    "sparse_scenario",
+    "standard_scenario",
+    "lcr_length",
+    "overlap_accuracy",
+    "overlap_length",
+    "precision_recall",
+    "route_accuracy",
+    "PALETTE",
+    "SVGMap",
+    "UncertaintyReport",
+    "count_plausible_routes",
+    "score_entropy",
+    "uncertainty_report",
+]

@@ -1,0 +1,90 @@
+"""Inference-quality metrics (Sec. IV-B).
+
+The paper measures route quality as
+
+    A_L = LCR(R_G, R_I).length / max(R_G.length, R_I.length)
+
+where ``LCR`` is the *longest common road segments* of the ground truth and
+the inferred route.  We implement LCR as the length-weighted longest common
+subsequence of the two segment-id sequences (order-respecting, the natural
+reading), plus a set-overlap variant used as a sanity oracle in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import Route
+
+__all__ = [
+    "lcr_length",
+    "route_accuracy",
+    "overlap_length",
+    "overlap_accuracy",
+    "precision_recall",
+]
+
+
+def lcr_length(network: RoadNetwork, ground: Route, inferred: Route) -> float:
+    """Length of the longest common (order-preserving) road-segment
+    subsequence of the two routes, in metres.
+    """
+    a = ground.segment_ids
+    b = inferred.segment_ids
+    if not a or not b:
+        return 0.0
+    lengths = {sid: network.segment(sid).length for sid in set(a) | set(b)}
+    m = len(b)
+    prev = [0.0] * (m + 1)
+    for sid_a in a:
+        cur = [0.0] * (m + 1)
+        la = lengths[sid_a]
+        for j, sid_b in enumerate(b, start=1):
+            if sid_a == sid_b:
+                cur[j] = prev[j - 1] + la
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[m]
+
+
+def route_accuracy(network: RoadNetwork, ground: Route, inferred: Route) -> float:
+    """The paper's ``A_L`` in [0, 1]; 0 when either route is empty."""
+    if not ground or not inferred:
+        return 0.0
+    lcr = lcr_length(network, ground, inferred)
+    denom = max(ground.length(network), inferred.length(network))
+    if denom == 0.0:
+        return 0.0
+    return lcr / denom
+
+
+def overlap_length(network: RoadNetwork, ground: Route, inferred: Route) -> float:
+    """Total length of segments present in both routes (order-insensitive)."""
+    common = set(ground.segment_ids) & set(inferred.segment_ids)
+    return sum(network.segment(sid).length for sid in common)
+
+
+def overlap_accuracy(network: RoadNetwork, ground: Route, inferred: Route) -> float:
+    """Set-overlap variant of ``A_L`` — an upper bound on the LCS version."""
+    if not ground or not inferred:
+        return 0.0
+    denom = max(ground.length(network), inferred.length(network))
+    if denom == 0.0:
+        return 0.0
+    return overlap_length(network, ground, inferred) / denom
+
+
+def precision_recall(
+    network: RoadNetwork, ground: Route, inferred: Route
+) -> Tuple[float, float]:
+    """Length-weighted precision and recall of the inferred segment set."""
+    if not ground or not inferred:
+        return (0.0, 0.0)
+    common = overlap_length(network, ground, inferred)
+    inferred_len = inferred.length(network)
+    ground_len = ground.length(network)
+    precision = common / inferred_len if inferred_len > 0 else 0.0
+    recall = common / ground_len if ground_len > 0 else 0.0
+    return (precision, recall)

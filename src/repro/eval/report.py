@@ -1,0 +1,103 @@
+"""Benchmark-results aggregation.
+
+The figure benchmarks each save a text table under ``benchmarks/results/``;
+this module collates them into one markdown report, so regenerating the
+experiment record after a run is one call::
+
+    python -m repro.eval.report benchmarks/results report.md
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["collect_results", "build_report", "main"]
+
+#: Render order and section titles for known figure files.
+_SECTIONS = [
+    ("table2", "Table II — default parameters"),
+    ("fig8a", "Fig. 8a — accuracy vs sampling interval"),
+    ("fig8b", "Fig. 8b — accuracy vs query length"),
+    ("fig9a", "Fig. 9a — accuracy vs φ"),
+    ("fig9b", "Fig. 9b — time vs φ"),
+    ("fig10a", "Fig. 10a — TGI vs NNI accuracy across density"),
+    ("fig10b", "Fig. 10b — TGI vs NNI time across density"),
+    ("fig10_density", "Fig. 10 (aux) — observed densities"),
+    ("fig11a", "Fig. 11a — accuracy vs λ"),
+    ("fig11b", "Fig. 11b — time vs λ, with/without reduction"),
+    ("fig12a", "Fig. 12a — accuracy vs k1"),
+    ("fig12b", "Fig. 12b — time vs k1"),
+    ("fig13a", "Fig. 13a — accuracy vs k2"),
+    ("fig13b", "Fig. 13b — time vs k2, with/without sharing"),
+    ("fig13b_knn", "Fig. 13b (aux) — kNN searches per pair"),
+    ("fig14a", "Fig. 14a — top-k3 accuracy"),
+    ("fig14b", "Fig. 14b — K-GRI vs brute force"),
+    ("ablations", "Ablations"),
+]
+
+
+def collect_results(results_dir: Union[str, Path]) -> Dict[str, str]:
+    """Read every ``*.txt`` table in the results directory.
+
+    Returns:
+        Mapping of figure id (file stem) to the table text.
+    """
+    results_dir = Path(results_dir)
+    out: Dict[str, str] = {}
+    if not results_dir.is_dir():
+        return out
+    for path in sorted(results_dir.glob("*.txt")):
+        out[path.stem] = path.read_text(encoding="utf-8").rstrip()
+    return out
+
+
+def build_report(results: Dict[str, str], title: str = "Benchmark results") -> str:
+    """Render collected tables as one markdown document.
+
+    Known figures render in paper order; unknown files append at the end.
+    """
+    lines: List[str] = [f"# {title}", ""]
+    seen = set()
+    for stem, heading in _SECTIONS:
+        if stem not in results:
+            continue
+        seen.add(stem)
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append("```")
+        lines.append(results[stem])
+        lines.append("```")
+        lines.append("")
+    for stem in sorted(set(results) - seen):
+        lines.append(f"## {stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(results[stem])
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.eval.report <results_dir> [out.md]``."""
+    argv = list(argv if argv is not None else sys.argv[1:])
+    if not (1 <= len(argv) <= 2):
+        print("usage: python -m repro.eval.report <results_dir> [out.md]", file=sys.stderr)
+        return 2
+    results = collect_results(argv[0])
+    if not results:
+        print(f"no result tables found in {argv[0]}", file=sys.stderr)
+        return 1
+    report = build_report(results)
+    if len(argv) == 2:
+        Path(argv[1]).write_text(report, encoding="utf-8")
+        print(f"wrote {argv[1]} ({len(results)} tables)")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,226 @@
+"""SVG rendering of networks, trajectories and routes.
+
+A dependency-free visualiser: road networks draw as grey line work,
+trajectories as dotted point chains, routes as coloured strokes.  Useful
+for eyeballing why an inference chose the route it did — every example can
+drop an ``.svg`` next to its output.
+
+Typical use::
+
+    svg = SVGMap(network)
+    svg.add_route(truth, color="#2a9d8f", width=6, label="ground truth")
+    svg.add_route(inferred, color="#e76f51", width=3, label="inferred")
+    svg.add_trajectory(query, color="#264653")
+    svg.save("inference.svg")
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import Route
+from repro.trajectory.model import Trajectory
+
+__all__ = ["SVGMap", "PALETTE"]
+
+#: Default categorical colors.
+PALETTE = ["#e76f51", "#2a9d8f", "#e9c46a", "#264653", "#f4a261", "#9b5de5"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Layer:
+    kind: str                 # "line" or "dots"
+    points: Tuple[Point, ...]
+    color: str
+    width: float              # stroke width or dot radius, in output pixels
+    opacity: float
+    dashed: bool
+
+
+class SVGMap:
+    """Accumulates map layers and renders them to an SVG document.
+
+    Args:
+        network: The road network to draw as the base layer (optional).
+        width_px: Output image width; height follows the data aspect ratio.
+        padding_px: Margin around the data extent.
+    """
+
+    def __init__(
+        self,
+        network: Optional[RoadNetwork] = None,
+        width_px: int = 900,
+        padding_px: int = 20,
+    ) -> None:
+        if width_px <= 2 * padding_px:
+            raise ValueError("width must exceed twice the padding")
+        self._network = network
+        self._width = width_px
+        self._padding = padding_px
+        self._layers: List[_Layer] = []
+        self._legend: List[Tuple[str, str]] = []
+        self._bounds: Optional[BBox] = network.bbox() if network else None
+
+    # -------------------------------------------------------------- layers
+
+    def _include(self, points: Sequence[Point]) -> None:
+        if not points:
+            return
+        box = BBox.from_points(points)
+        self._bounds = box if self._bounds is None else self._bounds.union(box)
+
+    def add_route(
+        self,
+        route: Route,
+        color: str = PALETTE[0],
+        width: float = 3.0,
+        label: Optional[str] = None,
+        opacity: float = 0.9,
+    ) -> None:
+        """Draw a route as a coloured stroke.
+
+        Raises:
+            ValueError: If no network was supplied at construction.
+        """
+        if self._network is None:
+            raise ValueError("drawing a route requires a network")
+        points = tuple(route.points(self._network))
+        self._include(points)
+        self._layers.append(_Layer("line", points, color, width, opacity, False))
+        if label:
+            self._legend.append((label, color))
+
+    def add_trajectory(
+        self,
+        trajectory: Trajectory,
+        color: str = PALETTE[3],
+        radius: float = 4.0,
+        label: Optional[str] = None,
+    ) -> None:
+        """Draw a trajectory: sample dots joined by a faint dashed line."""
+        points = tuple(trajectory.positions())
+        self._include(points)
+        self._layers.append(_Layer("line", points, color, 1.0, 0.35, True))
+        self._layers.append(_Layer("dots", points, color, radius, 1.0, False))
+        if label:
+            self._legend.append((label, color))
+
+    def add_points(
+        self,
+        points: Sequence[Point],
+        color: str = PALETTE[2],
+        radius: float = 2.0,
+        label: Optional[str] = None,
+    ) -> None:
+        """Draw a bare point cloud (e.g. reference points)."""
+        pts = tuple(points)
+        self._include(pts)
+        self._layers.append(_Layer("dots", pts, color, radius, 0.6, False))
+        if label:
+            self._legend.append((label, color))
+
+    # ------------------------------------------------------------ rendering
+
+    def render(self) -> str:
+        """The complete SVG document as a string.
+
+        Raises:
+            ValueError: If nothing has been added.
+        """
+        if self._bounds is None:
+            raise ValueError("nothing to render")
+        box = self._bounds
+        span_x = max(box.width, 1.0)
+        span_y = max(box.height, 1.0)
+        inner = self._width - 2 * self._padding
+        scale = inner / span_x
+        height = int(span_y * scale) + 2 * self._padding
+
+        def to_px(p: Point) -> Tuple[float, float]:
+            x = self._padding + (p.x - box.min_x) * scale
+            # SVG's y axis points down; the map's points up.
+            y = height - self._padding - (p.y - box.min_y) * scale
+            return (x, y)
+
+        parts: List[str] = []
+        if self._network is not None:
+            for seg in self._network.segments():
+                parts.append(
+                    _polyline(
+                        [to_px(p) for p in seg.polyline],
+                        stroke="#c9c9c9",
+                        width=1.0,
+                        opacity=0.8,
+                    )
+                )
+        for layer in self._layers:
+            px = [to_px(p) for p in layer.points]
+            if layer.kind == "line":
+                parts.append(
+                    _polyline(
+                        px,
+                        stroke=layer.color,
+                        width=layer.width,
+                        opacity=layer.opacity,
+                        dashed=layer.dashed,
+                    )
+                )
+            else:
+                parts.append(
+                    "".join(
+                        f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{layer.width}" '
+                        f'fill="{layer.color}" fill-opacity="{layer.opacity}"/>'
+                        for x, y in px
+                    )
+                )
+
+        if self._legend:
+            items = []
+            for i, (label, color) in enumerate(self._legend):
+                y = 18 + i * 18
+                items.append(
+                    f'<rect x="10" y="{y - 10}" width="12" height="12" '
+                    f'fill="{color}"/>'
+                    f'<text x="28" y="{y}" font-size="13" '
+                    f'font-family="sans-serif">{html.escape(label)}</text>'
+                )
+            parts.append("<g>" + "".join(items) + "</g>")
+
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self._width}" height="{height}" '
+            f'viewBox="0 0 {self._width} {height}">'
+            f'<rect width="100%" height="100%" fill="white"/>'
+            + "".join(parts)
+            + "</svg>"
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the SVG document to ``path``."""
+        path = Path(path)
+        path.write_text(self.render(), encoding="utf-8")
+        return path
+
+
+def _polyline(
+    points: Sequence[Tuple[float, float]],
+    stroke: str,
+    width: float,
+    opacity: float = 1.0,
+    dashed: bool = False,
+) -> str:
+    if len(points) < 2:
+        return ""
+    coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    dash = ' stroke-dasharray="6,6"' if dashed else ""
+    return (
+        f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+        f'stroke-width="{width}" stroke-opacity="{opacity}" '
+        f'stroke-linecap="round" stroke-linejoin="round"{dash}/>'
+    )

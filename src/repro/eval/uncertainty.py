@@ -1,0 +1,156 @@
+"""Uncertainty quantification — the paper's title, made measurable.
+
+"Reducing uncertainty" means shrinking the space of plausible routes for a
+low-sampling-rate trajectory.  This module quantifies that:
+
+* :func:`count_plausible_routes` — how many distinct loopless routes could
+  connect the query's endpoints within a detour bound (the *prior*
+  uncertainty; capped because the true count explodes combinatorially),
+* :func:`score_entropy` — the Shannon entropy of the normalised score
+  distribution over suggested routes (the *posterior* uncertainty: 0 when
+  one route dominates, log K when all K are equally plausible),
+* :func:`uncertainty_report` — both numbers plus their reduction for one
+  query, ready for printing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.kgri import GlobalRoute
+from repro.roadnet.ksp import yen_k_shortest_paths
+from repro.roadnet.network import RoadNetwork
+
+__all__ = [
+    "count_plausible_routes",
+    "score_entropy",
+    "UncertaintyReport",
+    "uncertainty_report",
+]
+
+
+def count_plausible_routes(
+    network: RoadNetwork,
+    source_node: int,
+    target_node: int,
+    detour_ratio: float = 1.5,
+    cap: int = 200,
+) -> int:
+    """Number of distinct loopless routes within ``detour_ratio`` of the
+    shortest path, counted up to ``cap``.
+
+    This is the prior uncertainty a user faces with no history: every one
+    of these routes is topologically and physically plausible.
+
+    Raises:
+        ValueError: On a non-positive cap or a detour ratio below 1.
+    """
+    if cap < 1:
+        raise ValueError("cap must be positive")
+    if detour_ratio < 1.0:
+        raise ValueError("detour_ratio must be at least 1")
+
+    def adjacency(node: int):
+        return (
+            (network.segment(s).end, network.segment(s).length)
+            for s in network.out_segments(node)
+        )
+
+    paths = yen_k_shortest_paths(adjacency, source_node, target_node, cap)
+    if not paths:
+        return 0
+    shortest = paths[0][0]
+    bound = shortest * detour_ratio
+    return sum(1 for cost, __ in paths if cost <= bound)
+
+
+def score_entropy(routes: Sequence[GlobalRoute]) -> float:
+    """Shannon entropy (nats) of the suggested routes' score distribution.
+
+    Scores are exponentiated from log space and normalised; a single
+    dominant suggestion gives entropy near 0, K equally plausible
+    suggestions give ``ln K``.
+
+    Raises:
+        ValueError: If no routes are given.
+    """
+    if not routes:
+        raise ValueError("entropy of an empty suggestion set is undefined")
+    if len(routes) == 1:
+        return 0.0
+    # Stabilise: shift log scores so the best is 0 before exponentiating.
+    best = max(g.log_score for g in routes)
+    weights = [math.exp(g.log_score - best) for g in routes]
+    total = sum(weights)
+    entropy = 0.0
+    for w in weights:
+        p = w / total
+        if p > 0.0:
+            entropy -= p * math.log(p)
+    return entropy
+
+
+@dataclass(frozen=True, slots=True)
+class UncertaintyReport:
+    """Prior vs posterior uncertainty for one query.
+
+    Attributes:
+        prior_routes: Plausible routes with no history (capped count).
+        posterior_routes: Routes HRIS actually suggests.
+        posterior_entropy: Entropy of the suggestion scores (nats).
+        reduction_factor: prior / posterior route-count ratio.
+    """
+
+    prior_routes: int
+    posterior_routes: int
+    posterior_entropy: float
+
+    @property
+    def reduction_factor(self) -> float:
+        if self.posterior_routes == 0:
+            return 0.0
+        return self.prior_routes / self.posterior_routes
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.prior_routes}+ plausible routes -> "
+            f"{self.posterior_routes} suggestions "
+            f"(entropy {self.posterior_entropy:.2f} nats, "
+            f"{self.reduction_factor:.0f}x reduction)"
+        )
+
+
+def uncertainty_report(
+    network: RoadNetwork,
+    routes: Sequence[GlobalRoute],
+    detour_ratio: float = 1.5,
+    cap: int = 200,
+) -> UncertaintyReport:
+    """Build an :class:`UncertaintyReport` for one inference result.
+
+    The prior is counted between the top suggestion's endpoints (all
+    suggestions share them by construction).
+
+    Raises:
+        ValueError: If no routes are given or the top route is empty.
+    """
+    if not routes:
+        raise ValueError("need at least one suggested route")
+    top = routes[0].route
+    if not top:
+        raise ValueError("the top route is empty")
+    prior = count_plausible_routes(
+        network,
+        top.start_node(network),
+        top.end_node(network),
+        detour_ratio=detour_ratio,
+        cap=cap,
+    )
+    return UncertaintyReport(
+        prior_routes=prior,
+        posterior_routes=len(routes),
+        posterior_entropy=score_entropy(routes),
+    )

@@ -1,0 +1,35 @@
+"""Planar geometry primitives used throughout the library."""
+
+from repro.geo.bbox import BBox
+from repro.geo.point import Point, centroid, euclidean, midpoint, squared_distance
+from repro.geo.polyline import (
+    Projection,
+    interpolate_along,
+    point_to_polyline_distance,
+    polyline_bbox,
+    polyline_length,
+    project_point_to_polyline,
+    project_point_to_segment,
+    resample_polyline,
+)
+from repro.geo.projection import EARTH_RADIUS_M, LonLatProjector, haversine_m
+
+__all__ = [
+    "BBox",
+    "Point",
+    "Projection",
+    "EARTH_RADIUS_M",
+    "LonLatProjector",
+    "centroid",
+    "euclidean",
+    "haversine_m",
+    "interpolate_along",
+    "midpoint",
+    "point_to_polyline_distance",
+    "polyline_bbox",
+    "polyline_length",
+    "project_point_to_polyline",
+    "project_point_to_segment",
+    "resample_polyline",
+    "squared_distance",
+]

@@ -1,0 +1,127 @@
+"""Planar point primitives and distance helpers.
+
+All geometry in this library lives in a local planar coordinate system with
+coordinates expressed in metres.  Real-world longitude/latitude data is first
+converted with :class:`repro.geo.projection.LonLatProjector`.
+
+The :class:`Point` type is an immutable value object; it supports vector-style
+arithmetic which the polyline and map-matching code builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+__all__ = [
+    "Point",
+    "euclidean",
+    "squared_distance",
+    "midpoint",
+    "centroid",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the planar (metre) coordinate system.
+
+    Attributes:
+        x: Easting in metres.
+        y: Northing in metres.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared euclidean distance (avoids the sqrt for comparisons)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Dot product treating both points as vectors from the origin."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """2D cross product (z component) treating points as vectors."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean norm treating the point as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def normalized(self) -> "Point":
+        """Unit vector in the direction of this point.
+
+        Raises:
+            ValueError: If the vector has zero length.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalize a zero-length vector")
+        return Point(self.x / n, self.y / n)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def squared_distance(a: Point, b: Point) -> float:
+    """Squared euclidean distance between two points."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Midpoint of the segment ``a``–``b``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def centroid(points: Sequence[Point] | Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points.
+
+    Raises:
+        ValueError: If ``points`` is empty.
+    """
+    xs = 0.0
+    ys = 0.0
+    n = 0
+    for p in points:
+        xs += p.x
+        ys += p.y
+        n += 1
+    if n == 0:
+        raise ValueError("centroid of an empty point collection is undefined")
+    return Point(xs / n, ys / n)

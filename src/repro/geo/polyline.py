@@ -1,0 +1,160 @@
+"""Polyline geometry: projection, interpolation and point-to-line distance.
+
+Road segments (Definition 2 of the paper) carry a polyline describing their
+shape.  The map-matching and candidate-edge machinery needs three core
+operations, all provided here:
+
+* the distance from a GPS point to a polyline (``dist(p, r)`` of
+  Definition 5),
+* the projection of a point onto a polyline (the "matched" position), and
+* interpolation of a position at a given arc-length offset (used by the
+  trajectory simulator to emit GPS samples while driving along a route).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+
+__all__ = [
+    "Projection",
+    "polyline_length",
+    "project_point_to_segment",
+    "project_point_to_polyline",
+    "point_to_polyline_distance",
+    "interpolate_along",
+    "resample_polyline",
+    "polyline_bbox",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Projection:
+    """Result of projecting a point onto a polyline.
+
+    Attributes:
+        point: Closest point on the polyline.
+        distance: Euclidean distance from the query point to ``point``.
+        offset: Arc-length from the start of the polyline to ``point``.
+        segment_index: Index of the polyline leg containing ``point``.
+    """
+
+    point: Point
+    distance: float
+    offset: float
+    segment_index: int
+
+
+def polyline_length(points: Sequence[Point]) -> float:
+    """Total arc length of a polyline (0 for fewer than two points)."""
+    total = 0.0
+    for a, b in zip(points, points[1:]):
+        total += a.distance_to(b)
+    return total
+
+
+def project_point_to_segment(p: Point, a: Point, b: Point) -> Tuple[Point, float]:
+    """Project ``p`` onto the line segment ``a``–``b``.
+
+    Returns:
+        A ``(closest_point, t)`` pair where ``t`` in [0, 1] is the position
+        parameter along the segment.
+    """
+    ab = b - a
+    denom = ab.dot(ab)
+    if denom == 0.0:
+        return a, 0.0
+    t = (p - a).dot(ab) / denom
+    if t <= 0.0:
+        return a, 0.0
+    if t >= 1.0:
+        return b, 1.0
+    return Point(a.x + ab.x * t, a.y + ab.y * t), t
+
+
+def project_point_to_polyline(p: Point, points: Sequence[Point]) -> Projection:
+    """Project ``p`` onto a polyline, returning the full projection record.
+
+    Raises:
+        ValueError: If the polyline has no points.
+    """
+    if not points:
+        raise ValueError("cannot project onto an empty polyline")
+    if len(points) == 1:
+        only = points[0]
+        return Projection(only, p.distance_to(only), 0.0, 0)
+
+    best_point = points[0]
+    best_dist = math.inf
+    best_offset = 0.0
+    best_index = 0
+    walked = 0.0
+    for i, (a, b) in enumerate(zip(points, points[1:])):
+        closest, t = project_point_to_segment(p, a, b)
+        d = p.distance_to(closest)
+        if d < best_dist:
+            best_dist = d
+            best_point = closest
+            best_offset = walked + t * a.distance_to(b)
+            best_index = i
+        walked += a.distance_to(b)
+    return Projection(best_point, best_dist, best_offset, best_index)
+
+
+def point_to_polyline_distance(p: Point, points: Sequence[Point]) -> float:
+    """Distance from ``p`` to the polyline — ``dist(p, r)`` of Definition 5."""
+    return project_point_to_polyline(p, points).distance
+
+
+def interpolate_along(points: Sequence[Point], offset: float) -> Point:
+    """The point at arc-length ``offset`` from the polyline start.
+
+    Offsets are clamped to ``[0, length]`` so callers can safely ask for a
+    position slightly past either end (floating-point drift while driving).
+
+    Raises:
+        ValueError: If the polyline has no points.
+    """
+    if not points:
+        raise ValueError("cannot interpolate along an empty polyline")
+    if len(points) == 1 or offset <= 0.0:
+        return points[0]
+    remaining = offset
+    for a, b in zip(points, points[1:]):
+        leg = a.distance_to(b)
+        if remaining <= leg:
+            if leg == 0.0:
+                return a
+            t = remaining / leg
+            return Point(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
+        remaining -= leg
+    return points[-1]
+
+
+def resample_polyline(points: Sequence[Point], spacing: float) -> List[Point]:
+    """Resample a polyline at (approximately) uniform arc-length spacing.
+
+    The first and last vertices are always retained.  Used to densify sparse
+    road geometry before rasterising reference-point densities.
+
+    Raises:
+        ValueError: If ``spacing`` is not positive or the polyline is empty.
+    """
+    if spacing <= 0.0:
+        raise ValueError("spacing must be positive")
+    if not points:
+        raise ValueError("cannot resample an empty polyline")
+    total = polyline_length(points)
+    if total == 0.0:
+        return [points[0]]
+    n_steps = max(1, int(math.ceil(total / spacing)))
+    return [interpolate_along(points, total * i / n_steps) for i in range(n_steps + 1)]
+
+
+def polyline_bbox(points: Sequence[Point]) -> BBox:
+    """Tight bounding box of a polyline (see :class:`repro.geo.bbox.BBox`)."""
+    return BBox.from_points(points)

@@ -1,0 +1,72 @@
+"""Longitude/latitude to local planar coordinates.
+
+The library operates internally in a planar metre grid.  Real GPS feeds
+(taxi logs, GeoLife exports, geotagged photos) arrive as WGS-84
+longitude/latitude; :class:`LonLatProjector` converts them with an
+equirectangular projection around a reference origin, which is accurate to
+well under GPS noise level for city-scale extents (tens of kilometres).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.geo.point import Point
+
+__all__ = ["EARTH_RADIUS_M", "haversine_m", "LonLatProjector"]
+
+#: Mean earth radius in metres (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def haversine_m(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance between two WGS-84 coordinates, in metres."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlmb = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+@dataclass(frozen=True, slots=True)
+class LonLatProjector:
+    """Equirectangular projection centred on ``(origin_lon, origin_lat)``.
+
+    ``to_plane`` maps lon/lat to metres east/north of the origin;
+    ``to_lonlat`` inverts it.  Round-trip error is zero up to floating point;
+    metric distortion grows with distance from the origin and stays below
+    0.1 % within ~50 km for mid latitudes.
+    """
+
+    origin_lon: float
+    origin_lat: float
+
+    def __post_init__(self) -> None:
+        if not (-90.0 < self.origin_lat < 90.0):
+            raise ValueError("origin latitude must be strictly between -90 and 90")
+
+    @property
+    def _meters_per_deg_lat(self) -> float:
+        return EARTH_RADIUS_M * math.pi / 180.0
+
+    @property
+    def _meters_per_deg_lon(self) -> float:
+        return self._meters_per_deg_lat * math.cos(math.radians(self.origin_lat))
+
+    def to_plane(self, lon: float, lat: float) -> Point:
+        """Project a lon/lat pair to planar metres."""
+        x = (lon - self.origin_lon) * self._meters_per_deg_lon
+        y = (lat - self.origin_lat) * self._meters_per_deg_lat
+        return Point(x, y)
+
+    def to_lonlat(self, p: Point) -> Tuple[float, float]:
+        """Invert the projection, returning ``(lon, lat)``."""
+        lon = self.origin_lon + p.x / self._meters_per_deg_lon
+        lat = self.origin_lat + p.y / self._meters_per_deg_lat
+        return (lon, lat)

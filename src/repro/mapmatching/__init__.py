@@ -1,0 +1,34 @@
+"""Map-matching algorithms: the paper's competitors plus an HMM matcher."""
+
+from repro.mapmatching.base import (
+    DEFAULT_GPS_SIGMA,
+    MapMatcher,
+    MatchResult,
+    find_candidates,
+    gps_probability,
+    stitch_route,
+)
+from repro.mapmatching.geometric import GeometricConfig, GeometricMatcher
+from repro.mapmatching.hmm import HMMConfig, HMMMatcher
+from repro.mapmatching.incremental import IncrementalConfig, IncrementalMatcher
+from repro.mapmatching.ivmm import IVMMConfig, IVMMMatcher
+from repro.mapmatching.stmatching import STMatcher, STMatchingConfig
+
+__all__ = [
+    "DEFAULT_GPS_SIGMA",
+    "GeometricConfig",
+    "GeometricMatcher",
+    "HMMConfig",
+    "HMMMatcher",
+    "IVMMConfig",
+    "IVMMMatcher",
+    "IncrementalConfig",
+    "IncrementalMatcher",
+    "MapMatcher",
+    "MatchResult",
+    "STMatcher",
+    "STMatchingConfig",
+    "find_candidates",
+    "gps_probability",
+    "stitch_route",
+]

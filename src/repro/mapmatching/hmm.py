@@ -1,0 +1,125 @@
+"""HMM map matching (Newson & Krumm style).
+
+Not one of the paper's competitors, but the de-facto standard matcher today.
+It serves two roles in this reproduction:
+
+* the *preprocessing* map-matching step (Sec. II-B aligns archive GPS points
+  onto segments before the route inference ever sees them), and
+* the ground-truthing of high-sampling-rate trajectories in tests.
+
+Emission is gaussian in the projection distance; transition favours
+candidates whose network detour matches the straight-line hop
+(``exp(-|d_route - d_euclid| / beta)``); decoding is Viterbi in log space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mapmatching.base import (
+    DEFAULT_GPS_SIGMA,
+    MapMatcher,
+    MatchResult,
+    find_candidates,
+    stitch_route,
+)
+from repro.roadnet.network import CandidateEdge, RoadNetwork
+from repro.roadnet.shortest_path import DistanceOracle
+from repro.trajectory.model import Trajectory
+
+__all__ = ["HMMConfig", "HMMMatcher"]
+
+
+@dataclass(frozen=True, slots=True)
+class HMMConfig:
+    """HMM matcher parameters.
+
+    Attributes:
+        radius: Candidate search radius in metres.
+        max_candidates: Candidates kept per point.
+        sigma: GPS error std-dev (emission model).
+        beta: Scale of the detour penalty in metres (transition model).
+        max_route_distance: Bound on candidate-to-candidate route searches.
+    """
+
+    radius: float = 100.0
+    max_candidates: int = 5
+    sigma: float = DEFAULT_GPS_SIGMA
+    beta: float = 200.0
+    max_route_distance: float = 50_000.0
+
+
+class HMMMatcher(MapMatcher):
+    """Viterbi decoder over the candidate lattice."""
+
+    def __init__(self, network: RoadNetwork, config: HMMConfig = HMMConfig()) -> None:
+        self._network = network
+        self._config = config
+        self._oracle = DistanceOracle(network, config.max_route_distance)
+
+    def match(self, trajectory: Trajectory) -> MatchResult:
+        cfg = self._config
+        pts = trajectory.points
+        n = len(pts)
+        layers: List[List[CandidateEdge]] = [
+            find_candidates(self._network, p.point, cfg.radius, cfg.max_candidates)
+            for p in pts
+        ]
+
+        def log_emission(c: CandidateEdge) -> float:
+            z = c.distance / cfg.sigma
+            return -0.5 * z * z
+
+        score: List[List[float]] = [[log_emission(c) for c in layers[0]]]
+        parent: List[List[int]] = [[-1] * len(layers[0])]
+
+        for i in range(1, n):
+            d_euclid = pts[i].point.distance_to(pts[i - 1].point)
+            cur: List[float] = []
+            par: List[int] = []
+            for cand in layers[i]:
+                emit = log_emission(cand)
+                best_val = -math.inf
+                best_k = -1
+                for k, prev_cand in enumerate(layers[i - 1]):
+                    if score[i - 1][k] == -math.inf:
+                        continue
+                    d_route = self._oracle.route_distance_between_projections(
+                        prev_cand.segment.segment_id,
+                        prev_cand.projection.offset,
+                        cand.segment.segment_id,
+                        cand.projection.offset,
+                    )
+                    if math.isinf(d_route):
+                        continue
+                    log_trans = -abs(d_route - d_euclid) / cfg.beta
+                    val = score[i - 1][k] + log_trans + emit
+                    if val > best_val:
+                        best_val = val
+                        best_k = k
+                cur.append(best_val)
+                par.append(best_k)
+            if all(v == -math.inf for v in cur):
+                cur = [log_emission(c) for c in layers[i]]
+                par = [-1] * len(cur)
+            score.append(cur)
+            parent.append(par)
+
+        chosen: List[Optional[CandidateEdge]] = [None] * n
+        if layers[-1]:
+            j = max(range(len(score[-1])), key=lambda idx: score[-1][idx])
+            for i in range(n - 1, -1, -1):
+                if j < 0 or not layers[i]:
+                    if layers[i]:
+                        j = max(range(len(score[i])), key=lambda idx: score[i][idx])
+                        chosen[i] = layers[i][j]
+                        j = parent[i][j]
+                    continue
+                chosen[i] = layers[i][j]
+                j = parent[i][j]
+
+        segments = [c.segment.segment_id for c in chosen if c is not None]
+        route = stitch_route(self._network, segments)
+        return MatchResult(route=route, matched=tuple(chosen))

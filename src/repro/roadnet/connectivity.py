@@ -1,0 +1,125 @@
+"""Connectivity analysis, generic over abstract directed graphs.
+
+Used in two places: validating that generated road networks are strongly
+connected (so every OD pair is routable), and the *graph augmentation*
+subroutine of the traverse-graph inference (Algorithm 1, line 9), which must
+detect and stitch together disconnected components of the conceptual graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Set, TypeVar
+
+from repro.roadnet.network import RoadNetwork
+
+__all__ = [
+    "strongly_connected_components",
+    "weakly_connected_components",
+    "is_strongly_connected",
+    "network_strongly_connected",
+]
+
+N = TypeVar("N", bound=Hashable)
+Adjacency = Callable[[N], Iterable[N]]
+
+
+def strongly_connected_components(
+    nodes: Iterable[N], adj: Adjacency
+) -> List[Set[N]]:
+    """Tarjan's SCC algorithm, iterative to avoid recursion limits.
+
+    Returns:
+        SCCs in reverse topological order of the condensation.
+    """
+    index_of: Dict[N, int] = {}
+    lowlink: Dict[N, int] = {}
+    on_stack: Set[N] = set()
+    stack: List[N] = []
+    sccs: List[Set[N]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        # Each frame: (node, iterator over successors).
+        work: List[tuple[N, Iterable[N]]] = [(root, iter(adj(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adj(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: Set[N] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def weakly_connected_components(
+    nodes: Iterable[N], adj: Adjacency, radj: Adjacency
+) -> List[Set[N]]:
+    """Connected components ignoring edge direction.
+
+    Args:
+        adj: Forward adjacency.
+        radj: Reverse adjacency (predecessors).
+    """
+    seen: Set[N] = set()
+    components: List[Set[N]] = []
+    for root in nodes:
+        if root in seen:
+            continue
+        component: Set[N] = {root}
+        seen.add(root)
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            for nxt in list(adj(node)) + list(radj(node)):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    component.add(nxt)
+                    frontier.append(nxt)
+        components.append(component)
+    return components
+
+
+def is_strongly_connected(nodes: Iterable[N], adj: Adjacency) -> bool:
+    """True if the abstract graph has exactly one SCC (or is empty)."""
+    node_list = list(nodes)
+    if not node_list:
+        return True
+    sccs = strongly_connected_components(node_list, adj)
+    return len(sccs) == 1
+
+
+def network_strongly_connected(network: RoadNetwork) -> bool:
+    """True if every vertex of the road network can reach every other."""
+
+    def adj(node_id: int) -> Iterable[int]:
+        return (network.segment(sid).end for sid in network.out_segments(node_id))
+
+    return is_strongly_connected((n.node_id for n in network.nodes()), adj)

@@ -1,0 +1,242 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on the Beijing road network (106,579 nodes / 141,380
+segments), which we cannot redistribute.  These generators produce city-like
+planar networks — perturbed grids with arterial speed classes, optional
+one-way streets and randomly removed blocks — that exercise exactly the same
+code paths (candidate edges, hop neighborhoods, shortest paths) at a scale a
+laptop handles.  See DESIGN.md §3 for the substitution rationale.
+
+All randomness flows through an explicit ``numpy.random.Generator`` so every
+experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.roadnet.connectivity import network_strongly_connected
+from repro.roadnet.network import RoadNetwork, RoadNode, RoadSegment
+
+__all__ = ["GridCityConfig", "grid_city", "ring_radial_city", "manhattan_line"]
+
+#: Speed classes in m/s (30 / 60 / 90 km/h).
+LOCAL_SPEED = 30.0 / 3.6
+ARTERIAL_SPEED = 60.0 / 3.6
+HIGHWAY_SPEED = 90.0 / 3.6
+
+
+@dataclass(frozen=True, slots=True)
+class GridCityConfig:
+    """Parameters of the grid-city generator.
+
+    Attributes:
+        nx: Number of node columns.
+        ny: Number of node rows.
+        spacing: Block size in metres.
+        jitter: Std-dev of gaussian node-position noise in metres.
+        arterial_every: Every k-th row/column is an arterial (0 disables).
+        drop_fraction: Fraction of interior bidirectional links removed to
+            break the perfect grid (connectivity is repaired afterwards).
+        one_way_fraction: Fraction of remaining local links converted into
+            one-way streets.
+    """
+
+    nx: int = 20
+    ny: int = 20
+    spacing: float = 500.0
+    jitter: float = 40.0
+    arterial_every: int = 5
+    drop_fraction: float = 0.08
+    one_way_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nx < 2 or self.ny < 2:
+            raise ValueError("grid must be at least 2x2")
+        if self.spacing <= 0:
+            raise ValueError("spacing must be positive")
+        if not (0.0 <= self.drop_fraction < 0.5):
+            raise ValueError("drop_fraction must be in [0, 0.5)")
+        if not (0.0 <= self.one_way_fraction <= 1.0):
+            raise ValueError("one_way_fraction must be in [0, 1]")
+
+
+def grid_city(
+    config: GridCityConfig = GridCityConfig(),
+    rng: Optional[np.random.Generator] = None,
+) -> RoadNetwork:
+    """Generate a perturbed-grid city network.
+
+    The result is guaranteed strongly connected: removed links that would
+    disconnect the graph are restored.
+
+    Args:
+        config: Generator parameters.
+        rng: Random generator; defaults to a fixed-seed generator so the
+            default call is deterministic.
+    """
+    rng = rng if rng is not None else np.random.default_rng(7)
+    cfg = config
+
+    def node_id(ix: int, iy: int) -> int:
+        return iy * cfg.nx + ix
+
+    nodes: List[RoadNode] = []
+    for iy in range(cfg.ny):
+        for ix in range(cfg.nx):
+            jx = float(rng.normal(0.0, cfg.jitter)) if cfg.jitter > 0 else 0.0
+            jy = float(rng.normal(0.0, cfg.jitter)) if cfg.jitter > 0 else 0.0
+            nodes.append(
+                RoadNode(node_id(ix, iy), Point(ix * cfg.spacing + jx, iy * cfg.spacing + jy))
+            )
+
+    def is_arterial_link(ax: int, ay: int, bx: int, by: int) -> bool:
+        if cfg.arterial_every <= 0:
+            return False
+        if ay == by and ay % cfg.arterial_every == 0:
+            return True  # horizontal link on an arterial row
+        if ax == bx and ax % cfg.arterial_every == 0:
+            return True  # vertical link on an arterial column
+        return False
+
+    # Undirected adjacency links of the full grid.
+    links: List[Tuple[int, int, bool]] = []  # (node_a, node_b, arterial)
+    for iy in range(cfg.ny):
+        for ix in range(cfg.nx):
+            if ix + 1 < cfg.nx:
+                links.append(
+                    (node_id(ix, iy), node_id(ix + 1, iy), is_arterial_link(ix, iy, ix + 1, iy))
+                )
+            if iy + 1 < cfg.ny:
+                links.append(
+                    (node_id(ix, iy), node_id(ix, iy + 1), is_arterial_link(ix, iy, ix, iy + 1))
+                )
+
+    # Randomly drop local (non-arterial) links to break the perfect grid.
+    keep: List[Tuple[int, int, bool]] = []
+    dropped: List[Tuple[int, int, bool]] = []
+    for link in links:
+        if not link[2] and float(rng.random()) < cfg.drop_fraction:
+            dropped.append(link)
+        else:
+            keep.append(link)
+
+    one_way: Dict[Tuple[int, int], bool] = {}
+    for a, b, arterial in keep:
+        if not arterial and cfg.one_way_fraction > 0.0:
+            one_way[(a, b)] = float(rng.random()) < cfg.one_way_fraction
+        else:
+            one_way[(a, b)] = False
+
+    def build(selected: List[Tuple[int, int, bool]]) -> RoadNetwork:
+        net = RoadNetwork()
+        for node in nodes:
+            net.add_node(node)
+        sid = 0
+        for a, b, arterial in selected:
+            speed = ARTERIAL_SPEED if arterial else LOCAL_SPEED
+            pa = nodes[a].point
+            pb = nodes[b].point
+            net.add_segment(RoadSegment.build(sid, a, b, [pa, pb], speed))
+            sid += 1
+            if not one_way.get((a, b), False):
+                net.add_segment(RoadSegment.build(sid, b, a, [pb, pa], speed))
+                sid += 1
+        return net
+
+    network = build(keep)
+    # Repair connectivity by restoring dropped links until the network is
+    # strongly connected again (two-way restores always help).
+    while not network_strongly_connected(network) and dropped:
+        restore = dropped.pop()
+        one_way[(restore[0], restore[1])] = False
+        keep.append(restore)
+        network = build(keep)
+    if not network_strongly_connected(network):
+        raise RuntimeError(
+            "generated network is not strongly connected; lower "
+            "one_way_fraction or drop_fraction"
+        )
+    return network
+
+
+def ring_radial_city(
+    n_rings: int = 4,
+    n_spokes: int = 12,
+    ring_spacing: float = 1_000.0,
+    rng: Optional[np.random.Generator] = None,
+) -> RoadNetwork:
+    """A ring-and-radial city (Beijing-style ring roads with spokes).
+
+    Rings are arterials; spokes alternate local/arterial.  All links are
+    bidirectional, so the network is strongly connected by construction.
+    """
+    if n_rings < 1 or n_spokes < 3:
+        raise ValueError("need at least 1 ring and 3 spokes")
+    rng = rng if rng is not None else np.random.default_rng(11)
+
+    nodes: List[RoadNode] = [RoadNode(0, Point(0.0, 0.0))]
+
+    def nid(ring: int, spoke: int) -> int:
+        return 1 + (ring - 1) * n_spokes + spoke
+
+    for ring in range(1, n_rings + 1):
+        radius = ring * ring_spacing
+        for spoke in range(n_spokes):
+            angle = 2.0 * math.pi * spoke / n_spokes
+            jitter = float(rng.normal(0.0, ring_spacing * 0.02))
+            r = radius + jitter
+            nodes.append(
+                RoadNode(nid(ring, spoke), Point(r * math.cos(angle), r * math.sin(angle)))
+            )
+
+    net = RoadNetwork()
+    for node in nodes:
+        net.add_node(node)
+
+    sid = 0
+
+    def add_two_way(a: int, b: int, speed: float) -> None:
+        nonlocal sid
+        pa = nodes[a].point
+        pb = nodes[b].point
+        net.add_segment(RoadSegment.build(sid, a, b, [pa, pb], speed))
+        sid += 1
+        net.add_segment(RoadSegment.build(sid, b, a, [pb, pa], speed))
+        sid += 1
+
+    # Rings (arterial, outermost is highway-grade).
+    for ring in range(1, n_rings + 1):
+        speed = HIGHWAY_SPEED if ring == n_rings else ARTERIAL_SPEED
+        for spoke in range(n_spokes):
+            add_two_way(nid(ring, spoke), nid(ring, (spoke + 1) % n_spokes), speed)
+    # Spokes: centre to first ring, then ring to ring.
+    for spoke in range(n_spokes):
+        speed = ARTERIAL_SPEED if spoke % 2 == 0 else LOCAL_SPEED
+        add_two_way(0, nid(1, spoke), speed)
+        for ring in range(1, n_rings):
+            add_two_way(nid(ring, spoke), nid(ring + 1, spoke), speed)
+    return net
+
+
+def manhattan_line(n_nodes: int = 10, spacing: float = 200.0) -> RoadNetwork:
+    """A trivial bidirectional chain of segments — handy in unit tests."""
+    if n_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    net = RoadNetwork()
+    for i in range(n_nodes):
+        net.add_node(RoadNode(i, Point(i * spacing, 0.0)))
+    sid = 0
+    for i in range(n_nodes - 1):
+        pa = net.node(i).point
+        pb = net.node(i + 1).point
+        net.add_segment(RoadSegment.build(sid, i, i + 1, [pa, pb], LOCAL_SPEED))
+        sid += 1
+        net.add_segment(RoadSegment.build(sid, i + 1, i, [pb, pa], LOCAL_SPEED))
+        sid += 1
+    return net

@@ -1,0 +1,70 @@
+"""Road-network serialisation.
+
+A small JSON format so generated networks (and any externally converted map,
+e.g. an OSM extract projected to planar metres) can be saved and reloaded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.geo.point import Point
+from repro.roadnet.network import RoadNetwork, RoadNode, RoadSegment
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+
+def network_to_dict(network: RoadNetwork) -> Dict[str, Any]:
+    """Serialise a network to a JSON-compatible dict."""
+    return {
+        "format": "repro-roadnet-v1",
+        "nodes": [
+            {"id": n.node_id, "x": n.point.x, "y": n.point.y}
+            for n in network.nodes()
+        ],
+        "segments": [
+            {
+                "id": s.segment_id,
+                "start": s.start,
+                "end": s.end,
+                "speed": s.speed_limit,
+                "shape": [[p.x, p.y] for p in s.polyline],
+            }
+            for s in network.segments()
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> RoadNetwork:
+    """Deserialise a network produced by :func:`network_to_dict`.
+
+    Raises:
+        ValueError: On an unknown format marker or malformed payload.
+    """
+    if data.get("format") != "repro-roadnet-v1":
+        raise ValueError(f"unknown network format: {data.get('format')!r}")
+    net = RoadNetwork()
+    for n in data["nodes"]:
+        net.add_node(RoadNode(int(n["id"]), Point(float(n["x"]), float(n["y"]))))
+    for s in data["segments"]:
+        shape = [Point(float(x), float(y)) for x, y in s["shape"]]
+        net.add_segment(
+            RoadSegment.build(
+                int(s["id"]), int(s["start"]), int(s["end"]), shape, float(s["speed"])
+            )
+        )
+    return net
+
+
+def save_network(network: RoadNetwork, path: Union[str, Path]) -> None:
+    """Write a network to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(network_to_dict(network), f)
+
+
+def load_network(path: Union[str, Path]) -> RoadNetwork:
+    """Read a network saved by :func:`save_network`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return network_from_dict(json.load(f))

@@ -1,0 +1,142 @@
+"""K-shortest loopless paths (Yen's algorithm).
+
+The traverse-graph inference (Algorithm 1 of the paper, line 13) ranks the
+top-K shortest paths between each source/destination candidate-edge pair.
+Yen's algorithm [16] is implemented generically over any directed graph given
+as an adjacency function, so the same code serves both the physical road
+network and the conceptual traverse graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple, TypeVar
+
+__all__ = ["yen_k_shortest_paths", "dijkstra_generic"]
+
+N = TypeVar("N", bound=Hashable)
+Adjacency = Callable[[N], Iterable[Tuple[N, float]]]
+
+
+def dijkstra_generic(
+    adj: Adjacency,
+    source: N,
+    target: N,
+    removed_edges: Optional[Set[Tuple[N, N]]] = None,
+    removed_nodes: Optional[Set[N]] = None,
+) -> Tuple[float, List[N]]:
+    """Shortest path on an abstract directed graph.
+
+    Args:
+        adj: Adjacency function yielding ``(neighbor, weight)`` pairs.
+        source: Start node.
+        target: End node.
+        removed_edges: Directed edges to treat as absent.
+        removed_nodes: Nodes to treat as absent (source exempt).
+
+    Returns:
+        ``(cost, node_path)``; ``(inf, [])`` when no path exists.
+    """
+    removed_edges = removed_edges or set()
+    removed_nodes = removed_nodes or set()
+    if source == target:
+        return 0.0, [source]
+    dist: Dict[N, float] = {source: 0.0}
+    prev: Dict[N, N] = {}
+    counter = 0
+    heap: List[Tuple[float, int, N]] = [(0.0, counter, source)]
+    settled: Set[N] = set()
+    while heap:
+        d, __, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(prev[path[-1]])
+            path.reverse()
+            return d, path
+        for v, w in adj(u):
+            if v in removed_nodes or (u, v) in removed_edges or v in settled:
+                continue
+            if w < 0:
+                raise ValueError("negative edge weights are not supported")
+            nd = d + w
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                prev[v] = u
+                counter += 1
+                heapq.heappush(heap, (nd, counter, v))
+    return math.inf, []
+
+
+def _path_cost(adj: Adjacency, path: List[N]) -> float:
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        w = min((w for n, w in adj(u) if n == v), default=math.inf)
+        total += w
+    return total
+
+
+def yen_k_shortest_paths(
+    adj: Adjacency,
+    source: N,
+    target: N,
+    k: int,
+) -> List[Tuple[float, List[N]]]:
+    """The ``k`` shortest loopless paths from ``source`` to ``target``.
+
+    Classic Yen construction: the best path comes from Dijkstra; each further
+    path is found by branching at every *spur node* of the previous one with
+    the shared prefix pinned and already-used continuations removed.
+
+    Returns:
+        Up to ``k`` ``(cost, node_path)`` pairs sorted by cost; fewer when
+        the graph does not contain ``k`` distinct loopless paths.
+    """
+    if k <= 0:
+        return []
+    best_cost, best_path = dijkstra_generic(adj, source, target)
+    if not best_path:
+        return []
+    paths: List[Tuple[float, List[N]]] = [(best_cost, best_path)]
+    # Candidate heap with a tiebreak counter so paths never compare.
+    candidates: List[Tuple[float, int, List[N]]] = []
+    seen_paths: Set[Tuple[N, ...]] = {tuple(best_path)}
+    counter = 0
+
+    while len(paths) < k:
+        __, prev_path = paths[-1]
+        for i in range(len(prev_path) - 1):
+            spur_node = prev_path[i]
+            root_path = prev_path[: i + 1]
+            root_cost = _path_cost(adj, root_path)
+
+            removed_edges: Set[Tuple[N, N]] = set()
+            for __, p in paths:
+                if len(p) > i and p[: i + 1] == root_path:
+                    removed_edges.add((p[i], p[i + 1]))
+            # Loopless: forbid revisiting any root node except the spur.
+            removed_nodes: Set[N] = set(root_path[:-1])
+
+            spur_cost, spur_path = dijkstra_generic(
+                adj, spur_node, target, removed_edges, removed_nodes
+            )
+            if not spur_path:
+                continue
+            total_path = root_path[:-1] + spur_path
+            key = tuple(total_path)
+            if key in seen_paths:
+                continue
+            seen_paths.add(key)
+            counter += 1
+            heapq.heappush(
+                candidates, (root_cost + spur_cost, counter, total_path)
+            )
+        if not candidates:
+            break
+        cost, __, path = heapq.heappop(candidates)
+        paths.append((cost, path))
+    return paths

@@ -1,0 +1,63 @@
+"""λ-neighborhoods over road segments (Definition 8).
+
+``h(r, s)`` is the minimum number of hops an object needs to move from
+segment ``r`` to segment ``s`` along the directed segment-adjacency graph:
+``h(r, r) = 0``, immediate successors have ``h = 1``, and so on.  The
+λ-neighborhood ``N_λ(r) = {s : h(r, s) < λ}``; with λ = 2 it contains the
+segments "within one hop", matching the paper's Figure 4 walkthrough.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set
+
+from repro.roadnet.network import RoadNetwork
+
+__all__ = ["hop_distances", "lambda_neighborhood", "hop_distance"]
+
+
+def hop_distances(
+    network: RoadNetwork, segment_id: int, max_hops: int
+) -> Dict[int, int]:
+    """BFS hop distances from ``segment_id`` to all segments within
+    ``max_hops`` (inclusive).  The source maps to 0.
+    """
+    if max_hops < 0:
+        raise ValueError("max_hops must be non-negative")
+    dist: Dict[int, int] = {segment_id: 0}
+    frontier = deque([segment_id])
+    while frontier:
+        current = frontier.popleft()
+        d = dist[current]
+        if d == max_hops:
+            continue
+        for nxt in network.successors(current):
+            if nxt not in dist:
+                dist[nxt] = d + 1
+                frontier.append(nxt)
+    return dist
+
+
+def lambda_neighborhood(
+    network: RoadNetwork, segment_id: int, lam: int
+) -> Set[int]:
+    """``N_λ(r)``: segments reachable in strictly fewer than ``lam`` hops.
+
+    The source segment itself (``h = 0``) is excluded — a traverse-graph
+    link from a segment to itself is never useful.
+    """
+    if lam <= 0:
+        return set()
+    dist = hop_distances(network, segment_id, lam - 1)
+    return {sid for sid, h in dist.items() if 0 < h < lam}
+
+
+def hop_distance(
+    network: RoadNetwork, from_segment: int, to_segment: int, max_hops: int
+) -> int:
+    """``h(r, s)`` bounded by ``max_hops``; returns ``max_hops + 1`` when the
+    target is farther than the bound (a "greater than" sentinel).
+    """
+    dist = hop_distances(network, from_segment, max_hops)
+    return dist.get(to_segment, max_hops + 1)

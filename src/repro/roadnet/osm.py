@@ -1,0 +1,205 @@
+"""OpenStreetMap import.
+
+Builds a :class:`~repro.roadnet.network.RoadNetwork` from an OSM XML
+extract (the ``.osm`` format exported by openstreetmap.org, Overpass or
+``osmium extract``), so the system runs against real city maps:
+
+* highway-tagged ways become road segments (one per direction unless
+  ``oneway`` says otherwise),
+* WGS-84 coordinates are projected to planar metres around the extract's
+  centroid with :class:`~repro.geo.projection.LonLatProjector`,
+* speed limits come from ``maxspeed`` when parseable, otherwise from a
+  highway-class default table,
+* ways are split at shared intersection nodes so the graph has proper
+  topology.
+
+Only the standard library's ``xml.etree`` is used.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.geo.projection import LonLatProjector
+from repro.roadnet.network import RoadNetwork, RoadNode, RoadSegment
+
+__all__ = ["OSMImportConfig", "load_osm_network", "parse_osm_network", "DEFAULT_SPEEDS_KMH"]
+
+#: Default speed (km/h) per OSM highway class.
+DEFAULT_SPEEDS_KMH: Dict[str, float] = {
+    "motorway": 100.0,
+    "motorway_link": 60.0,
+    "trunk": 80.0,
+    "trunk_link": 50.0,
+    "primary": 60.0,
+    "primary_link": 40.0,
+    "secondary": 50.0,
+    "secondary_link": 40.0,
+    "tertiary": 40.0,
+    "tertiary_link": 30.0,
+    "unclassified": 30.0,
+    "residential": 30.0,
+    "living_street": 10.0,
+    "service": 20.0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class OSMImportConfig:
+    """Import options.
+
+    Attributes:
+        highway_classes: Way classes to keep (None = every class with a
+            default speed).
+        origin: Projection origin ``(lon, lat)``; None centres on the data.
+        fallback_speed_kmh: Speed for kept ways with no table entry.
+    """
+
+    highway_classes: Optional[Set[str]] = None
+    origin: Optional[Tuple[float, float]] = None
+    fallback_speed_kmh: float = 30.0
+
+
+def _parse_maxspeed(raw: Optional[str]) -> Optional[float]:
+    """Parse an OSM ``maxspeed`` value to km/h; None when unparseable."""
+    if not raw:
+        return None
+    raw = raw.strip().lower()
+    try:
+        if raw.endswith("mph"):
+            return float(raw[:-3].strip()) * 1.609344
+        if raw.endswith("km/h"):
+            return float(raw[:-4].strip())
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def parse_osm_network(
+    xml_text: str, config: OSMImportConfig = OSMImportConfig()
+) -> RoadNetwork:
+    """Build a road network from OSM XML text.
+
+    Raises:
+        ValueError: If the document contains no usable highway ways.
+    """
+    root = ET.fromstring(xml_text)
+
+    # Pass 1: node coordinates.
+    coords: Dict[int, Tuple[float, float]] = {}
+    for node in root.iter("node"):
+        coords[int(node.get("id"))] = (
+            float(node.get("lon")),
+            float(node.get("lat")),
+        )
+
+    # Pass 2: highway ways with their tags.
+    ways: List[Tuple[List[int], Dict[str, str]]] = []
+    node_usage: Dict[int, int] = {}
+    for way in root.iter("way"):
+        tags = {t.get("k"): t.get("v") for t in way.findall("tag")}
+        highway = tags.get("highway")
+        if highway is None:
+            continue
+        if config.highway_classes is not None:
+            if highway not in config.highway_classes:
+                continue
+        elif highway not in DEFAULT_SPEEDS_KMH:
+            continue
+        refs = [int(nd.get("ref")) for nd in way.findall("nd")]
+        refs = [r for r in refs if r in coords]
+        if len(refs) < 2:
+            continue
+        ways.append((refs, tags))
+        for r in refs:
+            node_usage[r] = node_usage.get(r, 0) + 1
+
+    if not ways:
+        raise ValueError("no usable highway ways in the OSM document")
+
+    # Projection origin: configured or the data centroid.
+    if config.origin is not None:
+        origin_lon, origin_lat = config.origin
+    else:
+        used = {r for refs, __ in ways for r in refs}
+        origin_lon = sum(coords[r][0] for r in used) / len(used)
+        origin_lat = sum(coords[r][1] for r in used) / len(used)
+    projector = LonLatProjector(origin_lon, origin_lat)
+
+    # Graph vertices: way endpoints and nodes shared by 2+ ways
+    # (intersections).  Interior nodes stay as polyline shape points.
+    junction: Set[int] = set()
+    for refs, __ in ways:
+        junction.add(refs[0])
+        junction.add(refs[-1])
+    for r, usage in node_usage.items():
+        if usage >= 2:
+            junction.add(r)
+
+    network = RoadNetwork()
+    osm_to_vertex: Dict[int, int] = {}
+
+    def vertex_for(osm_id: int) -> int:
+        if osm_id not in osm_to_vertex:
+            vid = len(osm_to_vertex)
+            lon, lat = coords[osm_id]
+            network.add_node(RoadNode(vid, projector.to_plane(lon, lat)))
+            osm_to_vertex[osm_id] = vid
+        return osm_to_vertex[osm_id]
+
+    segment_id = 0
+
+    def add_piece(piece: List[int], speed: float, oneway: bool) -> None:
+        nonlocal segment_id
+        start = vertex_for(piece[0])
+        end = vertex_for(piece[-1])
+        shape = [
+            projector.to_plane(*coords[r]) for r in piece
+        ]
+        if start == end:
+            return  # degenerate loop piece; skip
+        network.add_segment(
+            RoadSegment.build(segment_id, start, end, shape, speed)
+        )
+        segment_id += 1
+        if not oneway:
+            network.add_segment(
+                RoadSegment.build(
+                    segment_id, end, start, list(reversed(shape)), speed
+                )
+            )
+            segment_id += 1
+
+    for refs, tags in ways:
+        highway = tags["highway"]
+        speed_kmh = _parse_maxspeed(tags.get("maxspeed"))
+        if speed_kmh is None:
+            speed_kmh = DEFAULT_SPEEDS_KMH.get(highway, config.fallback_speed_kmh)
+        speed = max(speed_kmh, 1.0) / 3.6
+        raw_oneway = tags.get("oneway", "no").lower()
+        reversed_way = raw_oneway == "-1"
+        oneway = raw_oneway in ("yes", "true", "1", "-1")
+        node_list = list(reversed(refs)) if reversed_way else refs
+
+        # Split the way at junction nodes.
+        piece: List[int] = [node_list[0]]
+        for r in node_list[1:]:
+            piece.append(r)
+            if r in junction and len(piece) >= 2:
+                add_piece(piece, speed, oneway)
+                piece = [r]
+        if len(piece) >= 2:
+            add_piece(piece, speed, oneway)
+
+    return network
+
+
+def load_osm_network(
+    path: Union[str, Path], config: OSMImportConfig = OSMImportConfig()
+) -> RoadNetwork:
+    """Read an ``.osm`` XML file into a road network."""
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_osm_network(text, config)

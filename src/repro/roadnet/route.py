@@ -1,0 +1,146 @@
+"""Routes: connected sequences of road segments (Definition 4).
+
+A route is the central value type of the paper — local routes, global routes,
+ground-truth routes and map-matching outputs are all :class:`Route` objects.
+Routes store segment ids only; geometric/length queries take the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.geo.point import Point
+from repro.roadnet.network import RoadNetwork
+
+__all__ = ["Route"]
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """An ordered sequence of road-segment ids.
+
+    Construction does not validate connectivity (map matchers sometimes emit
+    gapped sequences before bridging); call :meth:`is_connected` or
+    :meth:`validate` when the Definition 4 invariant must hold.
+    """
+
+    segment_ids: Tuple[int, ...]
+
+    @staticmethod
+    def of(segment_ids: Sequence[int]) -> "Route":
+        return Route(tuple(segment_ids))
+
+    @staticmethod
+    def empty() -> "Route":
+        return Route(())
+
+    def __len__(self) -> int:
+        return len(self.segment_ids)
+
+    def __bool__(self) -> bool:
+        return bool(self.segment_ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.segment_ids)
+
+    def __contains__(self, segment_id: int) -> bool:
+        return segment_id in self.segment_ids
+
+    @property
+    def first(self) -> int:
+        """Id of the first segment.
+
+        Raises:
+            IndexError: If the route is empty.
+        """
+        return self.segment_ids[0]
+
+    @property
+    def last(self) -> int:
+        """Id of the last segment.
+
+        Raises:
+            IndexError: If the route is empty.
+        """
+        return self.segment_ids[-1]
+
+    def start_node(self, network: RoadNetwork) -> int:
+        """``R.s``: the start vertex of the first segment."""
+        return network.segment(self.first).start
+
+    def end_node(self, network: RoadNetwork) -> int:
+        """``R.e``: the end vertex of the last segment."""
+        return network.segment(self.last).end
+
+    def start_point(self, network: RoadNetwork) -> Point:
+        return network.node(self.start_node(network)).point
+
+    def end_point(self, network: RoadNetwork) -> Point:
+        return network.node(self.end_node(network)).point
+
+    def length(self, network: RoadNetwork) -> float:
+        """Total length in metres."""
+        return sum(network.segment(sid).length for sid in self.segment_ids)
+
+    def is_connected(self, network: RoadNetwork) -> bool:
+        """True if consecutive segments satisfy ``r_{k+1}.s == r_k.e``."""
+        return all(
+            network.are_connected(a, b)
+            for a, b in zip(self.segment_ids, self.segment_ids[1:])
+        )
+
+    def validate(self, network: RoadNetwork) -> None:
+        """Raise ``ValueError`` if the route violates Definition 4."""
+        for a, b in zip(self.segment_ids, self.segment_ids[1:]):
+            if not network.are_connected(a, b):
+                raise ValueError(
+                    f"route break: segment {a} ends at "
+                    f"{network.segment(a).end} but segment {b} starts at "
+                    f"{network.segment(b).start}"
+                )
+
+    def concat(self, other: "Route") -> "Route":
+        """Concatenate two routes (the paper's ``R_i ◇ R_j``).
+
+        If the first route ends with the segment the second one starts with,
+        the duplicate is dropped so local routes sharing their junction edge
+        join seamlessly.
+        """
+        if not self.segment_ids:
+            return other
+        if not other.segment_ids:
+            return self
+        if self.segment_ids[-1] == other.segment_ids[0]:
+            return Route(self.segment_ids + other.segment_ids[1:])
+        return Route(self.segment_ids + other.segment_ids)
+
+    def dedupe_consecutive(self) -> "Route":
+        """Collapse immediately repeated segment ids."""
+        if not self.segment_ids:
+            return self
+        out: List[int] = [self.segment_ids[0]]
+        for sid in self.segment_ids[1:]:
+            if sid != out[-1]:
+                out.append(sid)
+        return Route(tuple(out))
+
+    def points(self, network: RoadNetwork) -> List[Point]:
+        """Concatenated shape polyline of the route."""
+        pts: List[Point] = []
+        for sid in self.segment_ids:
+            poly = network.segment(sid).polyline
+            if pts and pts[-1] == poly[0]:
+                pts.extend(poly[1:])
+            else:
+                pts.extend(poly)
+        return pts
+
+    def node_sequence(self, network: RoadNetwork) -> List[int]:
+        """Vertex ids visited, in order (start of each segment, final end)."""
+        if not self.segment_ids:
+            return []
+        nodes = [network.segment(self.segment_ids[0]).start]
+        for sid in self.segment_ids:
+            nodes.append(network.segment(sid).end)
+        return nodes

@@ -1,0 +1,255 @@
+"""Shortest paths on the road network.
+
+Provides node-level Dijkstra and A*, plus the segment-level helpers the rest
+of the system needs: the shortest *route* (sequence of segments, Definition 4)
+between two segments, and a cached many-pair distance oracle used heavily by
+ST-Matching, IVMM and the traverse-graph construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import Route
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_all",
+    "astar",
+    "node_path_to_route",
+    "shortest_route_between_nodes",
+    "shortest_route_between_segments",
+    "segment_route_length",
+    "DistanceOracle",
+]
+
+
+def dijkstra(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    max_distance: float = math.inf,
+) -> Tuple[float, List[int]]:
+    """Shortest node path from ``source`` to ``target``.
+
+    Returns:
+        ``(distance, node_path)``; ``(inf, [])`` when unreachable or farther
+        than ``max_distance``.
+    """
+    if source == target:
+        return 0.0, [source]
+    dist: Dict[int, float] = {source: 0.0}
+    prev: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, math.inf):
+            continue
+        if u == target:
+            return d, _reconstruct(prev, source, target)
+        if d > max_distance:
+            break
+        for sid in network.out_segments(u):
+            seg = network.segment(sid)
+            nd = d + seg.length
+            if nd < dist.get(seg.end, math.inf):
+                dist[seg.end] = nd
+                prev[seg.end] = u
+                heapq.heappush(heap, (nd, seg.end))
+    return math.inf, []
+
+
+def dijkstra_all(
+    network: RoadNetwork, source: int, max_distance: float = math.inf
+) -> Dict[int, float]:
+    """Distances from ``source`` to every node within ``max_distance``."""
+    dist: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled: Dict[int, float] = {}
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if d > max_distance:
+            break
+        settled[u] = d
+        for sid in network.out_segments(u):
+            seg = network.segment(sid)
+            nd = d + seg.length
+            if nd < dist.get(seg.end, math.inf):
+                dist[seg.end] = nd
+                heapq.heappush(heap, (nd, seg.end))
+    return settled
+
+
+def astar(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    max_distance: float = math.inf,
+) -> Tuple[float, List[int]]:
+    """A* with the euclidean heuristic (admissible: roads are never shorter
+    than the straight line).
+
+    Returns:
+        ``(distance, node_path)``; ``(inf, [])`` when unreachable.
+    """
+    if source == target:
+        return 0.0, [source]
+    goal = network.node(target).point
+
+    def h(node_id: int) -> float:
+        return network.node(node_id).point.distance_to(goal)
+
+    g: Dict[int, float] = {source: 0.0}
+    prev: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(h(source), source)]
+    closed: set[int] = set()
+    while heap:
+        f, u = heapq.heappop(heap)
+        if u in closed:
+            continue
+        if u == target:
+            return g[u], _reconstruct(prev, source, target)
+        closed.add(u)
+        if g[u] > max_distance:
+            break
+        for sid in network.out_segments(u):
+            seg = network.segment(sid)
+            ng = g[u] + seg.length
+            if ng < g.get(seg.end, math.inf):
+                g[seg.end] = ng
+                prev[seg.end] = u
+                heapq.heappush(heap, (ng + h(seg.end), seg.end))
+    return math.inf, []
+
+
+def _reconstruct(prev: Dict[int, int], source: int, target: int) -> List[int]:
+    path = [target]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path
+
+
+def node_path_to_route(network: RoadNetwork, node_path: List[int]) -> Route:
+    """Convert a node path to a route, choosing the shortest parallel segment
+    when the graph has multi-edges between a node pair.
+
+    Raises:
+        ValueError: If consecutive nodes are not adjacent.
+    """
+    segment_ids: List[int] = []
+    for u, v in zip(node_path, node_path[1:]):
+        best: Optional[int] = None
+        best_len = math.inf
+        for sid in network.out_segments(u):
+            seg = network.segment(sid)
+            if seg.end == v and seg.length < best_len:
+                best = sid
+                best_len = seg.length
+        if best is None:
+            raise ValueError(f"no segment connects node {u} to node {v}")
+        segment_ids.append(best)
+    return Route.of(segment_ids)
+
+
+def shortest_route_between_nodes(
+    network: RoadNetwork, source: int, target: int
+) -> Tuple[float, Route]:
+    """Shortest route (segments) between two vertices.
+
+    Returns:
+        ``(distance, route)``; ``(inf, empty route)`` when unreachable.
+    """
+    d, node_path = astar(network, source, target)
+    if math.isinf(d):
+        return math.inf, Route.empty()
+    return d, node_path_to_route(network, node_path)
+
+
+def shortest_route_between_segments(
+    network: RoadNetwork, from_segment: int, to_segment: int
+) -> Tuple[float, Route]:
+    """Shortest route starting with ``from_segment`` and ending with
+    ``to_segment``.
+
+    The returned distance is the length of the gap between the two segments
+    (end vertex of the first to start vertex of the second) — the natural
+    link weight for the traverse graph.  The route includes both endpoints.
+
+    Returns:
+        ``(gap_distance, route)``; ``(inf, empty route)`` when unreachable.
+    """
+    if from_segment == to_segment:
+        return 0.0, Route.of([from_segment])
+    a = network.segment(from_segment)
+    b = network.segment(to_segment)
+    if a.end == b.start:
+        return 0.0, Route.of([from_segment, to_segment])
+    d, node_path = astar(network, a.end, b.start)
+    if math.isinf(d):
+        return math.inf, Route.empty()
+    bridge = node_path_to_route(network, node_path)
+    return d, Route.of([from_segment, *bridge.segment_ids, to_segment])
+
+
+def segment_route_length(network: RoadNetwork, route: Route) -> float:
+    """Length of a route in metres (thin wrapper for symmetry)."""
+    return route.length(network)
+
+
+class DistanceOracle:
+    """Cached shortest-path distances between nodes.
+
+    Map matchers ask for the network distance between candidate projections
+    of consecutive GPS points over and over; this oracle memoises single-
+    source Dijkstra runs, bounded by ``max_distance``, so repeated sources
+    are free.
+    """
+
+    def __init__(self, network: RoadNetwork, max_distance: float = math.inf) -> None:
+        self._network = network
+        self._max_distance = max_distance
+        self._cache: Dict[int, Dict[int, float]] = {}
+
+    def distance(self, source: int, target: int) -> float:
+        """Network distance from node ``source`` to node ``target``.
+
+        Returns ``inf`` when the target is unreachable within the bound.
+        """
+        table = self._cache.get(source)
+        if table is None:
+            table = dijkstra_all(self._network, source, self._max_distance)
+            self._cache[source] = table
+        return table.get(target, math.inf)
+
+    def route_distance_between_projections(
+        self,
+        from_segment: int,
+        from_offset: float,
+        to_segment: int,
+        to_offset: float,
+    ) -> float:
+        """Travel distance between two on-segment positions.
+
+        Positions are (segment id, arc-length offset) pairs, as produced by
+        projecting GPS points onto candidate edges.  Handles the same-segment
+        forward case exactly and routes through the graph otherwise.
+        """
+        net = self._network
+        if from_segment == to_segment and to_offset >= from_offset:
+            return to_offset - from_offset
+        seg_a = net.segment(from_segment)
+        seg_b = net.segment(to_segment)
+        tail = seg_a.length - from_offset
+        via = self.distance(seg_a.end, seg_b.start)
+        if math.isinf(via):
+            return math.inf
+        return tail + via + to_offset
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,6 @@
+"""Spatial index substrates: R-tree and uniform grid."""
+
+from repro.spatial.grid import GridIndex
+from repro.spatial.rtree import RTree, RTreeEntry
+
+__all__ = ["GridIndex", "RTree", "RTreeEntry"]

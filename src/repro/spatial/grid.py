@@ -1,0 +1,150 @@
+"""Uniform grid spatial index.
+
+A simple fixed-cell-size hash grid.  It serves two purposes:
+
+* a second, independent implementation of the range/kNN query contract so the
+  R-tree can be differentially tested against it, and
+* the density estimator used by the hybrid local-inference strategy
+  (Sec. III-B.3), which needs fast "points per km^2" lookups.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, List, Tuple, TypeVar
+
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+
+__all__ = ["GridIndex"]
+
+T = TypeVar("T")
+
+
+class GridIndex(Generic[T]):
+    """Point index over uniform square cells.
+
+    Args:
+        cell_size: Side length of a grid cell in metres.
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._cell = cell_size
+        self._cells: Dict[Tuple[int, int], List[Tuple[Point, T]]] = defaultdict(list)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def cell_size(self) -> float:
+        return self._cell
+
+    def _key(self, p: Point) -> Tuple[int, int]:
+        return (math.floor(p.x / self._cell), math.floor(p.y / self._cell))
+
+    def insert(self, p: Point, item: T) -> None:
+        """Insert a point item."""
+        self._cells[self._key(p)].append((p, item))
+        self._size += 1
+
+    def extend(self, items: Iterable[Tuple[Point, T]]) -> None:
+        """Insert many ``(point, item)`` pairs."""
+        for p, item in items:
+            self.insert(p, item)
+
+    def search_bbox(self, query: BBox) -> List[T]:
+        """All items whose point lies inside ``query``."""
+        out: List[T] = []
+        ix0 = math.floor(query.min_x / self._cell)
+        ix1 = math.floor(query.max_x / self._cell)
+        iy0 = math.floor(query.min_y / self._cell)
+        iy1 = math.floor(query.max_y / self._cell)
+        for ix in range(ix0, ix1 + 1):
+            for iy in range(iy0, iy1 + 1):
+                bucket = self._cells.get((ix, iy))
+                if not bucket:
+                    continue
+                for p, item in bucket:
+                    if query.contains_point(p):
+                        out.append(item)
+        return out
+
+    def search_radius(self, center: Point, radius: float) -> List[T]:
+        """All items within ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        out: List[T] = []
+        # The box is padded slightly: hypot() rounding can pull a point that
+        # lies epsilon outside the exact box back onto the radius boundary.
+        box = BBox.around(center, radius * (1.0 + 1e-12) + 1e-9)
+        ix0 = math.floor(box.min_x / self._cell)
+        ix1 = math.floor(box.max_x / self._cell)
+        iy0 = math.floor(box.min_y / self._cell)
+        iy1 = math.floor(box.max_y / self._cell)
+        r2 = radius * radius
+        for ix in range(ix0, ix1 + 1):
+            for iy in range(iy0, iy1 + 1):
+                bucket = self._cells.get((ix, iy))
+                if not bucket:
+                    continue
+                for p, item in bucket:
+                    if p.squared_distance_to(center) <= r2:
+                        out.append(item)
+        return out
+
+    def nearest(self, query: Point, k: int = 1) -> List[Tuple[float, T]]:
+        """The ``k`` nearest items as ``(distance, item)`` pairs.
+
+        Expands a ring of cells outward from the query cell until the best
+        candidates found so far cannot be beaten by anything outside the
+        searched rings.
+        """
+        if k <= 0 or self._size == 0:
+            return []
+        cx, cy = self._key(query)
+        best: List[Tuple[float, T]] = []
+        ring = 0
+        # Upper bound on rings: enough to cover the full extent of the data.
+        max_ring = 1 + int(
+            max(
+                (abs(ix - cx) for ix, __ in self._cells),
+                default=0,
+            )
+            + max((abs(iy - cy) for __, iy in self._cells), default=0)
+        )
+        while ring <= max_ring:
+            for ix in range(cx - ring, cx + ring + 1):
+                for iy in range(cy - ring, cy + ring + 1):
+                    if max(abs(ix - cx), abs(iy - cy)) != ring:
+                        continue  # only the boundary of the ring is new
+                    bucket = self._cells.get((ix, iy))
+                    if not bucket:
+                        continue
+                    for p, item in bucket:
+                        d = p.distance_to(query)
+                        best.append((d, item))
+            best.sort(key=lambda pair: pair[0])
+            del best[k:]
+            # Anything outside the searched rings is at least this far away
+            # (cells at Chebyshev ring r+1 start r full cells past ours).
+            ring_guarantee = ring * self._cell
+            if len(best) >= k and best[-1][0] <= ring_guarantee:
+                break
+            ring += 1
+        return best
+
+    def density_per_km2(self, region: BBox) -> float:
+        """Number of indexed points per square kilometre inside ``region``.
+
+        This is the statistic the hybrid inference thresholds against τ
+        (default 200 points/km² in the paper's Table II).
+        """
+        if region.area == 0.0:
+            return 0.0
+        count = len(self.search_bbox(region))
+        km2 = region.area / 1_000_000.0
+        return count / km2

@@ -1,0 +1,52 @@
+"""Trajectory substrate: model, preprocessing, simulation, similarity."""
+
+from repro.trajectory.compress import (
+    compression_error,
+    douglas_peucker,
+    uniform_compress,
+)
+from repro.trajectory.distance import (
+    dtw_distance,
+    edr_distance,
+    hausdorff_distance,
+    lcss_similarity,
+)
+from repro.trajectory.model import LOW_SAMPLING_THRESHOLD_S, GPSPoint, Trajectory
+from repro.trajectory.resample import add_gps_noise, downsample, shift_time
+from repro.trajectory.simulate import DriveConfig, DrivenTrajectory, drive_route
+from repro.trajectory.interpolate import position_at, resample_uniform
+from repro.trajectory.io import (
+    load_trajectories,
+    save_trajectories,
+    trajectory_from_dict,
+    trajectory_to_dict,
+)
+from repro.trajectory.staypoint import StayPoint, detect_stay_points, partition_trips
+
+__all__ = [
+    "LOW_SAMPLING_THRESHOLD_S",
+    "DriveConfig",
+    "DrivenTrajectory",
+    "GPSPoint",
+    "StayPoint",
+    "Trajectory",
+    "add_gps_noise",
+    "compression_error",
+    "douglas_peucker",
+    "load_trajectories",
+    "save_trajectories",
+    "trajectory_from_dict",
+    "trajectory_to_dict",
+    "uniform_compress",
+    "detect_stay_points",
+    "downsample",
+    "drive_route",
+    "dtw_distance",
+    "edr_distance",
+    "hausdorff_distance",
+    "lcss_similarity",
+    "partition_trips",
+    "position_at",
+    "resample_uniform",
+    "shift_time",
+]

@@ -1,0 +1,102 @@
+"""Trajectory compression.
+
+Two standard reducers for storing large archives:
+
+* :func:`douglas_peucker` — shape-preserving: drops points whose removal
+  changes the polyline by less than a spatial tolerance, and
+* :func:`uniform_compress` — keep-every-nth thinning.
+
+Compression never invents points, so a compressed trajectory is still a
+valid (sparser) sample of the same movement — exactly the degradation the
+route-inference system is designed to tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geo.point import Point
+from repro.geo.polyline import project_point_to_segment
+from repro.trajectory.model import GPSPoint, Trajectory
+
+__all__ = ["douglas_peucker", "uniform_compress", "compression_error"]
+
+
+def _deviation(p: Point, a: Point, b: Point) -> float:
+    closest, __ = project_point_to_segment(p, a, b)
+    return p.distance_to(closest)
+
+
+def douglas_peucker(trajectory: Trajectory, tolerance_m: float) -> Trajectory:
+    """Douglas–Peucker simplification with a spatial tolerance in metres.
+
+    Iterative (stack-based) to survive long trajectories.  The first and
+    last points are always retained; timestamps ride along untouched.
+
+    Raises:
+        ValueError: If ``tolerance_m`` is negative.
+    """
+    if tolerance_m < 0:
+        raise ValueError("tolerance must be non-negative")
+    pts = trajectory.points
+    n = len(pts)
+    if n <= 2:
+        return trajectory
+
+    keep = [False] * n
+    keep[0] = keep[n - 1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        start, end = stack.pop()
+        if end - start < 2:
+            continue
+        a = pts[start].point
+        b = pts[end].point
+        worst = -1.0
+        worst_i = -1
+        for i in range(start + 1, end):
+            d = _deviation(pts[i].point, a, b)
+            if d > worst:
+                worst = d
+                worst_i = i
+        if worst > tolerance_m:
+            keep[worst_i] = True
+            stack.append((start, worst_i))
+            stack.append((worst_i, end))
+
+    kept = tuple(p for p, k in zip(pts, keep) if k)
+    return Trajectory(trajectory.traj_id, kept)
+
+
+def uniform_compress(trajectory: Trajectory, keep_every: int) -> Trajectory:
+    """Keep every ``keep_every``-th point (endpoints always survive).
+
+    Raises:
+        ValueError: If ``keep_every`` < 1.
+    """
+    if keep_every < 1:
+        raise ValueError("keep_every must be at least 1")
+    pts = trajectory.points
+    if keep_every == 1 or len(pts) <= 2:
+        return trajectory
+    kept: List[GPSPoint] = [
+        p for i, p in enumerate(pts[:-1]) if i % keep_every == 0
+    ]
+    kept.append(pts[-1])
+    return Trajectory(trajectory.traj_id, tuple(kept))
+
+
+def compression_error(original: Trajectory, compressed: Trajectory) -> float:
+    """Max deviation (m) of dropped original points from the compressed
+    polyline — the quantity Douglas–Peucker bounds by its tolerance."""
+    poly = [p.point for p in compressed.points]
+    if len(poly) < 2:
+        poly = poly + poly  # degenerate: measure distance to the point
+    worst = 0.0
+    from repro.geo.polyline import point_to_polyline_distance
+
+    for p in original.points:
+        d = point_to_polyline_distance(p.point, poly)
+        if d > worst:
+            worst = d
+    return worst

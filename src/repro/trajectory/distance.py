@@ -1,0 +1,142 @@
+"""Trajectory similarity measures (Sec. V related work).
+
+The route-inference system itself only needs nearest-point lookups, but the
+surrounding ecosystem (archive deduplication, test oracles, the examples)
+uses classic whole-trajectory measures.  Implemented here from scratch:
+
+* DTW   — dynamic time warping distance [28],
+* LCSS  — longest common subsequence similarity with an ε matching
+  threshold [29],
+* EDR   — edit distance on real sequences [30],
+* Hausdorff distance (directed and symmetric) as a simple geometric bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.geo.point import Point
+from repro.trajectory.model import Trajectory
+
+__all__ = [
+    "dtw_distance",
+    "lcss_similarity",
+    "edr_distance",
+    "hausdorff_distance",
+]
+
+
+def _positions(t: Trajectory | Sequence[Point]) -> List[Point]:
+    if isinstance(t, Trajectory):
+        return t.positions()
+    return list(t)
+
+
+def dtw_distance(a: Trajectory | Sequence[Point], b: Trajectory | Sequence[Point]) -> float:
+    """Dynamic time warping distance between two point sequences.
+
+    Cost of a matching step is the euclidean distance between the matched
+    points; classic O(n·m) dynamic program.
+
+    Raises:
+        ValueError: If either sequence is empty.
+    """
+    pa = _positions(a)
+    pb = _positions(b)
+    if not pa or not pb:
+        raise ValueError("DTW of an empty sequence is undefined")
+    n, m = len(pa), len(pb)
+    prev = [math.inf] * (m + 1)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        cur = [math.inf] * (m + 1)
+        for j in range(1, m + 1):
+            cost = pa[i - 1].distance_to(pb[j - 1])
+            cur[j] = cost + min(prev[j], cur[j - 1], prev[j - 1])
+        prev = cur
+    return prev[m]
+
+
+def lcss_similarity(
+    a: Trajectory | Sequence[Point],
+    b: Trajectory | Sequence[Point],
+    epsilon: float,
+) -> float:
+    """LCSS similarity in [0, 1]: matched fraction of the shorter sequence.
+
+    Two points match when within ``epsilon`` metres.  Robust to outliers
+    because unmatched points are skipped rather than paid for.
+
+    Raises:
+        ValueError: If either sequence is empty or epsilon is not positive.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    pa = _positions(a)
+    pb = _positions(b)
+    if not pa or not pb:
+        raise ValueError("LCSS of an empty sequence is undefined")
+    n, m = len(pa), len(pb)
+    prev = [0] * (m + 1)
+    for i in range(1, n + 1):
+        cur = [0] * (m + 1)
+        for j in range(1, m + 1):
+            if pa[i - 1].distance_to(pb[j - 1]) <= epsilon:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[m] / min(n, m)
+
+
+def edr_distance(
+    a: Trajectory | Sequence[Point],
+    b: Trajectory | Sequence[Point],
+    epsilon: float,
+) -> int:
+    """EDR: minimum number of edits to align the sequences.
+
+    Match costs 0 when points are within ``epsilon``; substitution,
+    insertion and deletion each cost 1.
+
+    Raises:
+        ValueError: If epsilon is not positive.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    pa = _positions(a)
+    pb = _positions(b)
+    n, m = len(pa), len(pb)
+    prev = list(range(m + 1))
+    for i in range(1, n + 1):
+        cur = [i] + [0] * m
+        for j in range(1, m + 1):
+            subcost = 0 if pa[i - 1].distance_to(pb[j - 1]) <= epsilon else 1
+            cur[j] = min(prev[j - 1] + subcost, prev[j] + 1, cur[j - 1] + 1)
+        prev = cur
+    return prev[m]
+
+
+def hausdorff_distance(
+    a: Trajectory | Sequence[Point], b: Trajectory | Sequence[Point]
+) -> float:
+    """Symmetric Hausdorff distance between two point sets.
+
+    Raises:
+        ValueError: If either sequence is empty.
+    """
+    pa = _positions(a)
+    pb = _positions(b)
+    if not pa or not pb:
+        raise ValueError("Hausdorff of an empty sequence is undefined")
+
+    def directed(src: List[Point], dst: List[Point]) -> float:
+        worst = 0.0
+        for p in src:
+            best = min(p.distance_to(q) for q in dst)
+            if best > worst:
+                worst = best
+        return worst
+
+    return max(directed(pa, pb), directed(pb, pa))

@@ -1,0 +1,73 @@
+"""Temporal interpolation of trajectories.
+
+Answers "where was the object at time t?" under the usual
+constant-velocity-between-samples assumption, and densifies trajectories
+to a uniform clock.  Interpolation is *estimation*, not ground truth —
+which is the paper's whole point for low-sampling-rate data — but it is
+the standard preprocessing for aligning trajectories to a common time
+base (co-movement analysis, animation, resampling high-rate data).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geo.point import Point
+from repro.trajectory.model import GPSPoint, Trajectory
+
+__all__ = ["position_at", "resample_uniform"]
+
+
+def position_at(trajectory: Trajectory, t: float) -> Point:
+    """The interpolated position at time ``t``.
+
+    Linear interpolation between the surrounding samples; clamped to the
+    first/last position outside the recorded span.
+
+    Raises:
+        ValueError: On an empty trajectory (cannot be constructed anyway).
+    """
+    pts = trajectory.points
+    if t <= pts[0].t:
+        return pts[0].point
+    if t >= pts[-1].t:
+        return pts[-1].point
+    # Binary search for the surrounding pair.
+    lo, hi = 0, len(pts) - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if pts[mid].t <= t:
+            lo = mid
+        else:
+            hi = mid
+    a, b = pts[lo], pts[hi]
+    span = b.t - a.t
+    frac = (t - a.t) / span if span > 0 else 0.0
+    return Point(
+        a.point.x + (b.point.x - a.point.x) * frac,
+        a.point.y + (b.point.y - a.point.y) * frac,
+    )
+
+
+def resample_uniform(trajectory: Trajectory, interval_s: float) -> Trajectory:
+    """Re-sample a trajectory onto a uniform clock.
+
+    Produces samples at ``start, start+interval, ...`` up to and including
+    the final timestamp (added exactly if the grid misses it).  Positions
+    are linearly interpolated.
+
+    Raises:
+        ValueError: If ``interval_s`` is not positive.
+    """
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    pts = trajectory.points
+    if len(pts) < 2:
+        return trajectory
+    out: List[GPSPoint] = []
+    t = pts[0].t
+    while t < pts[-1].t:
+        out.append(GPSPoint(position_at(trajectory, t), t))
+        t += interval_s
+    out.append(pts[-1])
+    return Trajectory(trajectory.traj_id, tuple(out))

@@ -1,0 +1,71 @@
+"""Trajectory serialisation.
+
+A compact JSON-lines format for trajectory collections: one trajectory per
+line, so multi-gigabyte archives stream without loading everything.  Used
+by the CLI and the scenario persistence layer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Union
+
+from repro.geo.point import Point
+from repro.trajectory.model import GPSPoint, Trajectory
+
+__all__ = [
+    "trajectory_to_dict",
+    "trajectory_from_dict",
+    "save_trajectories",
+    "load_trajectories",
+]
+
+
+def trajectory_to_dict(trajectory: Trajectory) -> Dict[str, Any]:
+    """Serialise one trajectory to a JSON-compatible dict."""
+    return {
+        "id": trajectory.traj_id,
+        "points": [[p.point.x, p.point.y, p.t] for p in trajectory.points],
+    }
+
+
+def trajectory_from_dict(data: Dict[str, Any]) -> Trajectory:
+    """Deserialise a trajectory produced by :func:`trajectory_to_dict`.
+
+    Raises:
+        ValueError: On malformed payloads (missing keys, bad ordering).
+    """
+    if "id" not in data or "points" not in data:
+        raise ValueError("trajectory record needs 'id' and 'points'")
+    points = [
+        GPSPoint(Point(float(x), float(y)), float(t)) for x, y, t in data["points"]
+    ]
+    return Trajectory.build(int(data["id"]), points)
+
+
+def save_trajectories(
+    trajectories: Iterable[Trajectory], path: Union[str, Path]
+) -> int:
+    """Write trajectories as JSON lines; returns the count written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for t in trajectories:
+            f.write(json.dumps(trajectory_to_dict(t)))
+            f.write("\n")
+            count += 1
+    return count
+
+
+def load_trajectories(path: Union[str, Path]) -> List[Trajectory]:
+    """Read trajectories saved by :func:`save_trajectories`."""
+    return list(iter_trajectories(path))
+
+
+def iter_trajectories(path: Union[str, Path]) -> Iterator[Trajectory]:
+    """Stream trajectories from a JSON-lines file."""
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                yield trajectory_from_dict(json.loads(line))

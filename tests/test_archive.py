@@ -1,0 +1,107 @@
+"""Unit tests for the trajectory archive."""
+
+import pytest
+
+from repro.core.archive import ArchivePoint, TrajectoryArchive
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+from repro.trajectory.model import GPSPoint, Trajectory
+
+
+def traj(coords, tid=1, dt=30.0):
+    return Trajectory.build(
+        tid, [GPSPoint(Point(x, y), i * dt) for i, (x, y) in enumerate(coords)]
+    )
+
+
+class TestBuilding:
+    def test_add_reassigns_ids(self):
+        a = TrajectoryArchive()
+        id1 = a.add(traj([(0, 0), (1, 1)], tid=99))
+        id2 = a.add(traj([(2, 2), (3, 3)], tid=99))
+        assert id1 != id2
+        assert a.trajectory(id1).traj_id == id1
+
+    def test_from_trips(self):
+        a = TrajectoryArchive.from_trips([traj([(0, 0), (1, 1)]), traj([(2, 2), (3, 3)])])
+        assert len(a) == 2
+        assert a.num_points == 4
+
+    def test_contains(self):
+        a = TrajectoryArchive()
+        tid = a.add(traj([(0, 0), (1, 1)]))
+        assert tid in a
+        assert 9999 not in a
+
+    def test_from_raw_logs_partitions(self):
+        # One log with a long stay in the middle becomes two trips.
+        pts = []
+        t = 0.0
+        for i in range(5):
+            pts.append(GPSPoint(Point(i * 300.0, 0.0), t))
+            t += 30.0
+        for i in range(7):
+            pts.append(GPSPoint(Point(1500.0, 0.0), t))
+            t += 300.0
+        for i in range(5):
+            pts.append(GPSPoint(Point(1600.0 + i * 300.0, 0.0), t))
+            t += 30.0
+        log = Trajectory.build(5, pts)
+        a = TrajectoryArchive.from_raw_logs([log])
+        assert len(a) == 2
+
+
+class TestQueries:
+    def test_point_accessor(self):
+        a = TrajectoryArchive()
+        tid = a.add(traj([(0, 0), (5, 5)]))
+        p = a.point(ArchivePoint(tid, 1))
+        assert p.point == Point(5, 5)
+
+    def test_points_near(self):
+        a = TrajectoryArchive()
+        a.add(traj([(0, 0), (100, 0)]))
+        a.add(traj([(5000, 5000), (5100, 5000)]))
+        hits = a.points_near(Point(0, 0), 150.0)
+        assert len(hits) == 2
+        assert all(h.traj_id == 0 for h in hits)
+
+    def test_trajectories_near_groups_and_sorts(self):
+        a = TrajectoryArchive()
+        a.add(traj([(0, 0), (10, 0), (20, 0)]))
+        hits = a.trajectories_near(Point(10, 0), 100.0)
+        assert hits == {0: [0, 1, 2]}
+
+    def test_index_invalidated_on_add(self):
+        a = TrajectoryArchive()
+        a.add(traj([(0, 0), (10, 0)]))
+        assert len(a.points_near(Point(500, 0), 50.0)) == 0
+        a.add(traj([(500, 0), (510, 0)]))
+        assert len(a.points_near(Point(500, 0), 50.0)) == 2
+
+    def test_density(self):
+        a = TrajectoryArchive()
+        a.add(traj([(100, 100), (200, 200), (300, 300), (400, 400)]))
+        box = BBox(0, 0, 1000, 1000)
+        assert a.density_per_km2(box) == 4.0
+
+    def test_density_zero_area(self):
+        a = TrajectoryArchive()
+        assert a.density_per_km2(BBox(0, 0, 0, 10)) == 0.0
+
+
+class TestRemoval:
+    def test_remove_existing(self):
+        a = TrajectoryArchive()
+        tid = a.add(traj([(0, 0), (10, 0)]))
+        a.add(traj([(500, 0), (510, 0)]))
+        assert a.remove(tid)
+        assert tid not in a
+        assert len(a) == 1
+        # Spatial queries reflect the removal.
+        assert a.points_near(Point(0, 0), 50.0) == []
+        assert len(a.points_near(Point(500, 0), 50.0)) == 2
+
+    def test_remove_missing(self):
+        a = TrajectoryArchive()
+        assert not a.remove(42)

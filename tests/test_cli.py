@@ -1,0 +1,102 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def world_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("world")
+    code = main(
+        [
+            "generate",
+            "--out",
+            str(path),
+            "--seed",
+            "5",
+            "--grid",
+            "8",
+            "--od-pairs",
+            "3",
+            "--trips",
+            "30",
+            "--queries",
+            "2",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "x"])
+        assert args.seed == 42
+        assert args.grid == 14
+
+    def test_infer_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["infer", "--world", "x", "--method", "bogus"]
+            )
+
+
+class TestCommands:
+    def test_generate_creates_artifacts(self, world_dir):
+        assert (world_dir / "network.json").exists()
+        assert (world_dir / "archive.jsonl").exists()
+        assert (world_dir / "queries.json").exists()
+
+    def test_infer_prints_routes(self, world_dir, capsys):
+        code = main(
+            [
+                "infer",
+                "--world",
+                str(world_dir),
+                "--query",
+                "0",
+                "--interval",
+                "240",
+                "--k",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "#1:" in out
+        assert "log-score" in out
+
+    def test_infer_bad_query_index(self, world_dir, capsys):
+        code = main(
+            ["infer", "--world", str(world_dir), "--query", "99"]
+        )
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_infer_forced_method(self, world_dir, capsys):
+        code = main(
+            [
+                "infer",
+                "--world",
+                str(world_dir),
+                "--query",
+                "0",
+                "--method",
+                "tgi",
+            ]
+        )
+        assert code == 0
+
+    def test_evaluate_prints_table(self, world_dir, capsys):
+        code = main(
+            ["evaluate", "--world", str(world_dir), "--intervals", "240", "600"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HRIS" in out
+        assert "ST-matching" in out

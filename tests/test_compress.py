@@ -1,0 +1,102 @@
+"""Unit and property tests for trajectory compression."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.point import Point
+from repro.trajectory.compress import (
+    compression_error,
+    douglas_peucker,
+    uniform_compress,
+)
+from repro.trajectory.model import GPSPoint, Trajectory
+
+
+def traj_from_xy(coords, tid=1):
+    return Trajectory.build(
+        tid, [GPSPoint(Point(x, y), float(i)) for i, (x, y) in enumerate(coords)]
+    )
+
+
+class TestDouglasPeucker:
+    def test_negative_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            douglas_peucker(traj_from_xy([(0, 0), (1, 0)]), -1.0)
+
+    def test_short_trajectory_unchanged(self):
+        t = traj_from_xy([(0, 0), (1, 0)])
+        assert douglas_peucker(t, 10.0) is t
+
+    def test_collinear_collapses_to_endpoints(self):
+        t = traj_from_xy([(float(i), 0.0) for i in range(20)])
+        c = douglas_peucker(t, 0.1)
+        assert len(c) == 2
+        assert c[0].point == Point(0, 0)
+        assert c[1].point == Point(19, 0)
+
+    def test_corner_retained(self):
+        t = traj_from_xy([(0, 0), (50, 0), (100, 0), (100, 50), (100, 100)])
+        c = douglas_peucker(t, 5.0)
+        assert Point(100, 0) in [p.point for p in c.points]
+
+    def test_zero_tolerance_keeps_shape_points(self):
+        zigzag = traj_from_xy([(0, 0), (1, 1), (2, 0), (3, 1), (4, 0)])
+        c = douglas_peucker(zigzag, 0.0)
+        assert len(c) == 5
+
+    def test_error_bounded_by_tolerance(self):
+        rng = np.random.default_rng(5)
+        coords = np.cumsum(rng.normal(0, 30, size=(60, 2)), axis=0)
+        t = traj_from_xy([(float(x), float(y)) for x, y in coords])
+        for tol in (10.0, 50.0, 200.0):
+            c = douglas_peucker(t, tol)
+            assert compression_error(t, c) <= tol + 1e-6
+
+    def test_monotone_in_tolerance(self):
+        rng = np.random.default_rng(6)
+        coords = np.cumsum(rng.normal(0, 30, size=(60, 2)), axis=0)
+        t = traj_from_xy([(float(x), float(y)) for x, y in coords])
+        sizes = [len(douglas_peucker(t, tol)) for tol in (1.0, 10.0, 100.0)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-500, 500), st.floats(-500, 500)),
+            min_size=2,
+            max_size=25,
+        ),
+        st.floats(0.5, 100.0),
+    )
+    def test_property_error_bound(self, coords, tol):
+        t = traj_from_xy(coords)
+        c = douglas_peucker(t, tol)
+        assert compression_error(t, c) <= tol + 1e-6
+        assert c[0].point == t[0].point
+        assert c[len(c) - 1].point == t[len(t) - 1].point
+
+
+class TestUniformCompress:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_compress(traj_from_xy([(0, 0), (1, 0)]), 0)
+
+    def test_identity(self):
+        t = traj_from_xy([(float(i), 0.0) for i in range(10)])
+        assert uniform_compress(t, 1) is t
+
+    def test_every_third(self):
+        t = traj_from_xy([(float(i), 0.0) for i in range(10)])
+        c = uniform_compress(t, 3)
+        xs = [p.point.x for p in c.points]
+        assert xs == [0.0, 3.0, 6.0, 9.0]
+
+    def test_endpoints_kept(self):
+        t = traj_from_xy([(float(i), 0.0) for i in range(11)])
+        c = uniform_compress(t, 4)
+        assert c[0].point == t[0].point
+        assert c[len(c) - 1].point == t[10].point

@@ -1,0 +1,106 @@
+"""Unit and differential tests for repro.roadnet.connectivity."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.connectivity import (
+    is_strongly_connected,
+    network_strongly_connected,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.roadnet.generators import GridCityConfig, grid_city, manhattan_line
+
+import numpy as np
+
+
+def adj_from_dict(graph):
+    return lambda n: iter(graph.get(n, []))
+
+
+class TestSCC:
+    def test_single_node(self):
+        sccs = strongly_connected_components([1], adj_from_dict({1: []}))
+        assert sccs == [{1}]
+
+    def test_two_cycles_and_bridge(self):
+        graph = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+        sccs = strongly_connected_components([1, 2, 3, 4], adj_from_dict(graph))
+        assert sorted(map(sorted, sccs)) == [[1, 2], [3, 4]]
+
+    def test_dag_has_singleton_sccs(self):
+        graph = {1: [2], 2: [3], 3: []}
+        sccs = strongly_connected_components([1, 2, 3], adj_from_dict(graph))
+        assert len(sccs) == 3
+
+    def test_self_loop(self):
+        graph = {1: [1]}
+        assert strongly_connected_components([1], adj_from_dict(graph)) == [{1}]
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 5000
+        graph = {i: [i + 1] for i in range(n)}
+        graph[n] = []
+        sccs = strongly_connected_components(range(n + 1), adj_from_dict(graph))
+        assert len(sccs) == n + 1
+
+
+class TestWeakComponents:
+    def test_two_islands(self):
+        graph = {1: [2], 2: [], 3: [4], 4: []}
+        radj = {1: [], 2: [1], 3: [], 4: [3]}
+        comps = weakly_connected_components(
+            [1, 2, 3, 4], adj_from_dict(graph), adj_from_dict(radj)
+        )
+        assert sorted(map(sorted, comps)) == [[1, 2], [3, 4]]
+
+    def test_direction_ignored(self):
+        graph = {1: [2], 2: [], 3: [2]}
+        radj = {1: [], 2: [1, 3], 3: []}
+        comps = weakly_connected_components(
+            [1, 2, 3], adj_from_dict(graph), adj_from_dict(radj)
+        )
+        assert comps == [{1, 2, 3}]
+
+
+class TestIsStronglyConnected:
+    def test_empty_graph(self):
+        assert is_strongly_connected([], adj_from_dict({}))
+
+    def test_cycle(self):
+        graph = {1: [2], 2: [3], 3: [1]}
+        assert is_strongly_connected([1, 2, 3], adj_from_dict(graph))
+
+    def test_chain_is_not(self):
+        graph = {1: [2], 2: [3], 3: []}
+        assert not is_strongly_connected([1, 2, 3], adj_from_dict(graph))
+
+
+class TestNetworkConnectivity:
+    def test_manhattan_line(self):
+        assert network_strongly_connected(manhattan_line(5))
+
+    def test_grid_city_guarantee(self):
+        net = grid_city(
+            GridCityConfig(nx=7, ny=7, drop_fraction=0.25), np.random.default_rng(5)
+        )
+        assert network_strongly_connected(net)
+
+
+class TestDifferentialVsNetworkx:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(2, 10),
+        st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40),
+    )
+    def test_scc_matches_networkx(self, n, raw_edges):
+        edges = [(u % n, v % n) for u, v in raw_edges if u % n != v % n]
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        graph = {u: [v for a, v in edges if a == u] for u in range(n)}
+        ours = strongly_connected_components(range(n), adj_from_dict(graph))
+        theirs = list(nx.strongly_connected_components(g))
+        assert sorted(map(sorted, ours)) == sorted(map(sorted, theirs))

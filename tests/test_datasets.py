@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic scenario builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    ScenarioConfig,
+    alternative_routes,
+    build_scenario,
+    zipf_weights,
+)
+from repro.roadnet.generators import GridCityConfig, grid_city
+from repro.trajectory.model import LOW_SAMPLING_THRESHOLD_S
+
+
+SMALL = ScenarioConfig(
+    grid=GridCityConfig(nx=8, ny=8),
+    n_od_pairs=4,
+    n_archive_trips=40,
+    n_background_trips=5,
+    min_od_distance=2000.0,
+    n_queries=3,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(SMALL)
+
+
+class TestZipf:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_normalised(self):
+        w = zipf_weights(5, 1.3)
+        assert math.isclose(w.sum(), 1.0)
+
+    def test_skewed_and_sorted(self):
+        w = zipf_weights(4, 1.5)
+        assert all(a > b for a, b in zip(w, w[1:]))
+        assert w[0] > 0.5
+
+    def test_higher_s_more_skew(self):
+        assert zipf_weights(3, 2.0)[0] > zipf_weights(3, 1.0)[0]
+
+
+class TestAlternativeRoutes:
+    def test_distinct_connected(self):
+        rng = np.random.default_rng(3)
+        net = grid_city(GridCityConfig(nx=8, ny=8), rng)
+        routes = alternative_routes(net, 0, 63, 3, rng)
+        assert 1 <= len(routes) <= 3
+        keys = {r.segment_ids for r in routes}
+        assert len(keys) == len(routes)
+        for r in routes:
+            assert r.is_connected(net)
+            assert r.start_node(net) == 0
+            assert r.end_node(net) == 63
+
+    def test_first_route_is_time_optimal(self):
+        rng = np.random.default_rng(4)
+        net = grid_city(GridCityConfig(nx=8, ny=8, arterial_every=3), rng)
+        routes = alternative_routes(net, 0, 63, 3, rng)
+        times = [
+            sum(net.segment(s).travel_time for s in r.segment_ids) for r in routes
+        ]
+        assert times[0] == min(times)
+
+
+class TestConfigValidation:
+    def test_interval_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(
+                archive_intervals=(30.0, 60.0),
+                archive_interval_weights=(0.5, 0.6),
+            )
+
+    def test_mixture_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(
+                archive_intervals=(30.0,),
+                archive_interval_weights=(0.5, 0.5),
+            )
+
+    def test_need_positive_counts(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_od_pairs=0)
+
+
+class TestBuildScenario:
+    def test_sizes(self, scenario):
+        assert len(scenario.archive) == SMALL.n_archive_trips + SMALL.n_background_trips
+        assert len(scenario.queries) == SMALL.n_queries
+        assert len(scenario.od_routes) >= 1
+
+    def test_route_probabilities_normalised(self, scenario):
+        for probs in scenario.route_probabilities:
+            assert math.isclose(probs.sum(), 1.0)
+
+    def test_queries_have_exact_truth(self, scenario):
+        for case in scenario.queries:
+            assert case.truth.is_connected(scenario.network)
+            # The high-rate query starts near the truth's start.
+            start = case.truth.start_point(scenario.network)
+            assert case.query[0].point.distance_to(start) < 100.0
+
+    def test_queries_are_high_rate(self, scenario):
+        for case in scenario.queries:
+            assert case.query.mean_sampling_interval < LOW_SAMPLING_THRESHOLD_S
+
+    def test_archive_mixes_sampling_rates(self, scenario):
+        intervals = [t.mean_sampling_interval for t in scenario.archive.trajectories()]
+        assert any(i <= 60.0 for i in intervals)
+        assert any(i >= 100.0 for i in intervals)
+
+    def test_deterministic(self):
+        a = build_scenario(SMALL)
+        b = build_scenario(SMALL)
+        assert a.archive.num_points == b.archive.num_points
+        for qa, qb in zip(a.queries, b.queries):
+            assert qa.truth.segment_ids == qb.truth.segment_ids
+            assert [p.point for p in qa.query.points] == [
+                p.point for p in qb.query.points
+            ]
+
+    def test_od_separation_respected(self, scenario):
+        net = scenario.network
+        for routes in scenario.od_routes:
+            start = routes[0].start_point(net)
+            end = routes[0].end_point(net)
+            assert start.distance_to(end) >= SMALL.min_od_distance

@@ -1,0 +1,58 @@
+"""Round-trip tests for scenario persistence."""
+
+import pytest
+
+from repro.datasets.io import load_scenario, save_scenario
+from repro.datasets.synthetic import ScenarioConfig, build_scenario
+from repro.roadnet.generators import GridCityConfig
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(
+        ScenarioConfig(
+            grid=GridCityConfig(nx=8, ny=8),
+            n_od_pairs=3,
+            min_od_distance=2000.0,
+            n_archive_trips=30,
+            n_background_trips=4,
+            n_queries=3,
+            seed=19,
+        )
+    )
+
+
+class TestScenarioRoundTrip:
+    def test_round_trip(self, scenario, tmp_path):
+        save_scenario(scenario, tmp_path / "world")
+        loaded = load_scenario(tmp_path / "world")
+        assert loaded.network.num_segments == scenario.network.num_segments
+        assert len(loaded.archive) == len(scenario.archive)
+        assert loaded.archive.num_points == scenario.archive.num_points
+        assert len(loaded.queries) == len(scenario.queries)
+        for a, b in zip(scenario.queries, loaded.queries):
+            assert a.truth.segment_ids == b.truth.segment_ids
+            assert a.query.points == b.query.points
+
+    def test_loaded_scenario_is_inferable(self, scenario, tmp_path):
+        from repro.core.system import HRIS, HRISConfig
+        from repro.trajectory.resample import downsample
+
+        save_scenario(scenario, tmp_path / "world")
+        loaded = load_scenario(tmp_path / "world")
+        hris = HRIS(loaded.network, loaded.archive, HRISConfig())
+        q = downsample(loaded.queries[0].query, 240.0)
+        assert hris.infer_routes(q, 1)
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_scenario(tmp_path / "nowhere")
+
+    def test_bad_queries_format(self, scenario, tmp_path):
+        import json
+
+        save_scenario(scenario, tmp_path / "world")
+        with open(tmp_path / "world" / "queries.json", "w") as f:
+            json.dump({"format": "bogus", "cases": []}, f)
+        with pytest.raises(ValueError, match="queries format"):
+            load_scenario(tmp_path / "world")

@@ -1,0 +1,157 @@
+"""Failure-injection tests: the system must degrade, not crash.
+
+Each test injects a pathological condition — off-map queries, teleporting
+archive trajectories, degenerate geometries, hostile parameters — and
+asserts HRIS still produces a well-formed answer (or a clear error).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.archive import TrajectoryArchive
+from repro.core.system import HRIS, HRISConfig
+from repro.geo.point import Point
+from repro.roadnet.generators import GridCityConfig, grid_city, manhattan_line
+from repro.trajectory.model import GPSPoint, Trajectory
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(4)
+    network = grid_city(GridCityConfig(nx=8, ny=8), rng)
+    from repro.datasets.synthetic import alternative_routes
+    from repro.trajectory.simulate import DriveConfig, drive_route
+
+    archive = TrajectoryArchive()
+    routes = alternative_routes(network, 0, 63, 2, rng)
+    for k in range(12):
+        drive = drive_route(
+            network,
+            routes[k % len(routes)],
+            k,
+            config=DriveConfig(sample_interval_s=60.0, gps_sigma_m=12.0),
+            rng=rng,
+        )
+        archive.add(drive.trajectory)
+    return network, archive
+
+
+def make_query(points_times):
+    return Trajectory.build(
+        99, [GPSPoint(Point(x, y), t) for x, y, t in points_times]
+    )
+
+
+class TestHostileQueries:
+    def test_query_far_off_the_map(self, world):
+        network, archive = world
+        hris = HRIS(network, archive, HRISConfig())
+        # 50 km away from the city: no references, no nearby segments
+        # within any candidate radius — the fallback must still answer.
+        query = make_query(
+            [(50_000.0, 50_000.0, 0.0), (55_000.0, 50_000.0, 600.0)]
+        )
+        routes = hris.infer_routes(query, 2)
+        assert routes
+        assert routes[0].route.is_connected(network)
+
+    def test_stationary_query(self, world):
+        network, archive = world
+        hris = HRIS(network, archive, HRISConfig())
+        query = make_query([(1000.0, 1000.0, 0.0), (1000.5, 1000.0, 600.0)])
+        routes = hris.infer_routes(query, 1)
+        assert routes
+
+    def test_teleporting_query(self, world):
+        # Consecutive points farther apart than V_max allows: no reference
+        # can satisfy the speed ellipse, but the query must still resolve.
+        network, archive = world
+        hris = HRIS(network, archive, HRISConfig())
+        query = make_query([(0.0, 0.0, 0.0), (3500.0, 3500.0, 10.0)])
+        routes, detail = hris.infer_routes_with_details(query, 1)
+        assert routes
+        assert detail.pairs[0].n_references == 0
+
+    def test_many_point_query(self, world):
+        network, archive = world
+        hris = HRIS(network, archive, HRISConfig())
+        pts = [(i * 120.0, 40.0, i * 200.0) for i in range(25)]
+        routes = hris.infer_routes(make_query(pts), 2)
+        assert routes
+        assert routes[0].route.is_connected(network)
+
+
+class TestHostileArchives:
+    def test_teleporting_archive_trajectory(self, world):
+        network, __ = world
+        # A "trajectory" that jumps across the city instantly: the speed
+        # ellipse (condition 3) should keep it from poisoning references,
+        # and inference must not crash either way.
+        bad = Trajectory.build(
+            0,
+            [
+                GPSPoint(Point(0.0, 0.0), 0.0),
+                GPSPoint(Point(3500.0, 0.0), 1.0),
+                GPSPoint(Point(0.0, 3500.0), 2.0),
+            ],
+        )
+        archive = TrajectoryArchive.from_trips([bad])
+        hris = HRIS(network, archive, HRISConfig())
+        query = make_query([(0.0, 0.0, 0.0), (1500.0, 0.0, 300.0)])
+        routes = hris.infer_routes(query, 1)
+        assert routes
+
+    def test_single_point_trips_ignored_gracefully(self, world):
+        network, __ = world
+        lonely = Trajectory.build(0, [GPSPoint(Point(500.0, 500.0), 0.0)])
+        archive = TrajectoryArchive.from_trips([lonely])
+        hris = HRIS(network, archive, HRISConfig())
+        query = make_query([(0.0, 0.0, 0.0), (1500.0, 0.0, 300.0)])
+        assert hris.infer_routes(query, 1)
+
+    def test_archive_of_duplicated_points(self, world):
+        network, __ = world
+        # GPS stuck at one location while time advances.
+        stuck = Trajectory.build(
+            0,
+            [GPSPoint(Point(700.0, 700.0), float(i * 30)) for i in range(20)],
+        )
+        archive = TrajectoryArchive.from_trips([stuck])
+        hris = HRIS(network, archive, HRISConfig())
+        query = make_query([(500.0, 500.0, 0.0), (2000.0, 500.0, 400.0)])
+        assert hris.infer_routes(query, 1)
+
+
+class TestHostileParameters:
+    def test_tiny_phi(self, world):
+        network, archive = world
+        hris = HRIS(network, archive, HRISConfig(phi=1.0))
+        query = make_query([(0.0, 0.0, 0.0), (1500.0, 0.0, 300.0)])
+        routes, detail = hris.infer_routes_with_details(query, 1)
+        assert routes
+        assert all(p.fallback or p.n_references >= 0 for p in detail.pairs)
+
+    def test_huge_k(self, world):
+        network, archive = world
+        hris = HRIS(network, archive, HRISConfig())
+        query = make_query([(0.0, 0.0, 0.0), (1500.0, 0.0, 300.0)])
+        routes = hris.infer_routes(query, 10_000)
+        assert 1 <= len(routes) <= 10_000
+
+    def test_minimal_caps(self, world):
+        network, archive = world
+        cfg = HRISConfig(k1=1, k2=1, k3=1, max_local_routes=1, max_references=1)
+        hris = HRIS(network, archive, cfg)
+        query = make_query([(0.0, 0.0, 0.0), (1500.0, 0.0, 300.0)])
+        assert len(hris.infer_routes(query)) == 1
+
+
+class TestDegenerateNetworks:
+    def test_two_node_network(self):
+        network = manhattan_line(2, spacing=500.0)
+        archive = TrajectoryArchive()
+        hris = HRIS(network, archive, HRISConfig())
+        query = make_query([(0.0, 0.0, 0.0), (500.0, 0.0, 120.0)])
+        routes = hris.infer_routes(query, 1)
+        assert routes
+        assert routes[0].route

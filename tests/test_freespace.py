@@ -1,0 +1,164 @@
+"""Unit tests for the network-free route inference extension."""
+
+import math
+
+import pytest
+
+from repro.core.freespace import (
+    FreeSpaceConfig,
+    FreeSpaceInference,
+    discrete_frechet,
+)
+from repro.core.reference import Reference
+from repro.geo.point import Point
+
+
+def make_ref(points, ref_id=0):
+    return Reference(
+        ref_id=ref_id, source_ids=(ref_id,), points=tuple(points), spliced=False
+    )
+
+
+def corridor(offset_y, n=11, spacing=100.0):
+    return [Point(i * spacing, offset_y) for i in range(n)]
+
+
+class TestFrechet:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            discrete_frechet([], [Point(0, 0)])
+
+    def test_identical_is_zero(self):
+        poly = corridor(0.0)
+        assert discrete_frechet(poly, poly) == 0.0
+
+    def test_parallel_lines(self):
+        assert discrete_frechet(corridor(0.0), corridor(50.0)) == 50.0
+
+    def test_symmetry(self):
+        a = corridor(0.0)
+        b = [Point(0, 0), Point(500, 300), Point(1000, 0)]
+        assert math.isclose(discrete_frechet(a, b), discrete_frechet(b, a))
+
+    def test_order_sensitive(self):
+        # Same point set, opposite traversal order: Fréchet is large,
+        # unlike Hausdorff which would be 0.
+        a = corridor(0.0, n=5)
+        b = list(reversed(a))
+        assert discrete_frechet(a, b) > 100.0
+
+    def test_lower_bounded_by_endpoint_gap(self):
+        a = corridor(0.0, n=5)
+        b = [p.translate(0.0, 200.0) for p in a]
+        assert discrete_frechet(a, b) >= 200.0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FreeSpaceConfig(resample_spacing_m=0)
+        with pytest.raises(ValueError):
+            FreeSpaceConfig(cluster_distance_m=-1)
+        with pytest.raises(ValueError):
+            FreeSpaceConfig(max_routes=0)
+
+
+class TestLocalInference:
+    def test_no_references(self):
+        fsi = FreeSpaceInference()
+        assert fsi.infer_local(Point(0, 0), Point(1000, 0), []) == []
+
+    def test_single_corridor_cluster(self):
+        fsi = FreeSpaceInference()
+        refs = [make_ref(corridor(float(10 * i)), ref_id=i) for i in range(4)]
+        routes = fsi.infer_local(Point(0, 0), Point(1000, 0), refs)
+        assert len(routes) == 1
+        assert routes[0].support == frozenset({0, 1, 2, 3})
+        assert routes[0].popularity == 4.0
+
+    def test_two_corridors_split(self):
+        fsi = FreeSpaceInference(FreeSpaceConfig(cluster_distance_m=200.0))
+        north = [make_ref(corridor(0.0), ref_id=i) for i in range(3)]
+        # A genuinely different corridor: a 600 m southern detour.
+        south_poly = [
+            Point(i * 100.0, -600.0) if 2 <= i <= 8 else Point(i * 100.0, 0.0)
+            for i in range(11)
+        ]
+        south = [make_ref(south_poly, ref_id=10 + i) for i in range(2)]
+        routes = fsi.infer_local(Point(0, 0), Point(1000, 0), north + south)
+        assert len(routes) == 2
+        # Popularity ordering: the 3-strong corridor first.
+        assert routes[0].popularity == 3.0
+        assert routes[1].popularity == 2.0
+
+    def test_polylines_anchored_to_query(self):
+        fsi = FreeSpaceInference()
+        refs = [make_ref(corridor(20.0), ref_id=0)]
+        routes = fsi.infer_local(Point(0, 0), Point(1000, 0), refs)
+        assert routes[0].polyline[0].distance_to(Point(0, 0)) < 1.0
+        assert routes[0].polyline[-1].distance_to(Point(1000, 0)) < 1.0
+
+    def test_max_routes_cap(self):
+        fsi = FreeSpaceInference(
+            FreeSpaceConfig(cluster_distance_m=10.0, max_routes=2)
+        )
+        refs = [make_ref(corridor(float(200 * i)), ref_id=i) for i in range(5)]
+        routes = fsi.infer_local(Point(0, 0), Point(1000, 0), refs)
+        assert len(routes) == 2
+
+
+class TestGlobalInference:
+    def test_end_to_end_on_scenario(self):
+        import numpy as np
+
+        from repro import build_scenario, HRISConfig
+        from repro.core.reference import ReferenceSearch
+        from repro.datasets import ScenarioConfig
+        from repro.roadnet import GridCityConfig
+        from repro.trajectory import downsample, hausdorff_distance
+
+        sc = build_scenario(
+            ScenarioConfig(
+                grid=GridCityConfig(nx=10, ny=10),
+                n_od_pairs=4,
+                min_od_distance=3000.0,
+                n_archive_trips=80,
+                n_background_trips=5,
+                n_queries=2,
+                seed=17,
+            )
+        )
+        search = ReferenceSearch(
+            sc.archive, sc.network, HRISConfig().reference_config()
+        )
+        fsi = FreeSpaceInference()
+        case = sc.queries[0]
+        q = downsample(case.query, 240.0)
+        routes = fsi.infer(q, search, k=3)
+        assert routes
+        scores = [g.log_score for g in routes]
+        assert scores == sorted(scores, reverse=True)
+        truth_poly = case.truth.points(sc.network)
+        best = min(
+            hausdorff_distance(list(g.polyline), truth_poly) for g in routes
+        )
+        # Within roughly one block of the true geometry, with no network.
+        assert best < 800.0
+
+    def test_short_query_raises(self):
+        fsi = FreeSpaceInference()
+        from repro.trajectory.model import GPSPoint, Trajectory
+
+        single = Trajectory.build(1, [GPSPoint(Point(0, 0), 0.0)])
+        with pytest.raises(ValueError):
+            fsi.infer(single, None, k=1)
+
+    def test_invalid_k_raises(self):
+        fsi = FreeSpaceInference()
+        from repro.trajectory.model import GPSPoint, Trajectory
+
+        t = Trajectory.build(
+            1, [GPSPoint(Point(0, 0), 0.0), GPSPoint(Point(1, 0), 10.0)]
+        )
+        with pytest.raises(ValueError):
+            fsi.infer(t, None, k=0)

@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic road-network generators."""
+
+import numpy as np
+import pytest
+
+from repro.geo.point import Point
+from repro.roadnet.connectivity import network_strongly_connected
+from repro.roadnet.generators import (
+    ARTERIAL_SPEED,
+    HIGHWAY_SPEED,
+    LOCAL_SPEED,
+    GridCityConfig,
+    grid_city,
+    manhattan_line,
+    ring_radial_city,
+)
+
+
+class TestGridCityConfig:
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            GridCityConfig(nx=1, ny=5)
+
+    def test_rejects_bad_drop_fraction(self):
+        with pytest.raises(ValueError):
+            GridCityConfig(drop_fraction=0.7)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            GridCityConfig(spacing=0.0)
+
+
+class TestGridCity:
+    def test_deterministic_given_seed(self):
+        a = grid_city(GridCityConfig(nx=6, ny=6), np.random.default_rng(11))
+        b = grid_city(GridCityConfig(nx=6, ny=6), np.random.default_rng(11))
+        assert a.num_segments == b.num_segments
+        assert {s.segment_id for s in a.segments()} == {
+            s.segment_id for s in b.segments()
+        }
+
+    def test_node_count(self):
+        net = grid_city(GridCityConfig(nx=5, ny=7, drop_fraction=0.0))
+        assert net.num_nodes == 35
+
+    def test_full_grid_segment_count(self):
+        cfg = GridCityConfig(nx=4, ny=4, drop_fraction=0.0, one_way_fraction=0.0)
+        net = grid_city(cfg)
+        # 2 * (nx-1) * ny horizontal + 2 * nx * (ny-1) vertical directed.
+        assert net.num_segments == 2 * (3 * 4) + 2 * (4 * 3)
+
+    def test_strongly_connected_with_drops(self):
+        cfg = GridCityConfig(nx=8, ny=8, drop_fraction=0.3 - 1e-9)
+        net = grid_city(cfg, np.random.default_rng(17))
+        assert network_strongly_connected(net)
+
+    def test_strongly_connected_with_one_ways(self):
+        cfg = GridCityConfig(nx=6, ny=6, drop_fraction=0.05, one_way_fraction=0.3)
+        net = grid_city(cfg, np.random.default_rng(19))
+        assert network_strongly_connected(net)
+
+    def test_arterials_have_higher_speed(self):
+        cfg = GridCityConfig(nx=11, ny=11, arterial_every=5, drop_fraction=0.0, jitter=0.0)
+        net = grid_city(cfg)
+        speeds = {s.speed_limit for s in net.segments()}
+        assert speeds == {LOCAL_SPEED, ARTERIAL_SPEED}
+
+    def test_no_arterials_when_disabled(self):
+        cfg = GridCityConfig(nx=5, ny=5, arterial_every=0, drop_fraction=0.0)
+        net = grid_city(cfg)
+        assert {s.speed_limit for s in net.segments()} == {LOCAL_SPEED}
+
+    def test_jitter_moves_nodes(self):
+        jittered = grid_city(
+            GridCityConfig(nx=4, ny=4, jitter=50.0, drop_fraction=0.0),
+            np.random.default_rng(23),
+        )
+        flat = grid_city(
+            GridCityConfig(nx=4, ny=4, jitter=0.0, drop_fraction=0.0),
+            np.random.default_rng(23),
+        )
+        moved = sum(
+            1
+            for a, b in zip(jittered.nodes(), flat.nodes())
+            if a.point.distance_to(b.point) > 1.0
+        )
+        assert moved > 0
+
+
+class TestRingRadial:
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            ring_radial_city(n_rings=0)
+        with pytest.raises(ValueError):
+            ring_radial_city(n_spokes=2)
+
+    def test_node_count(self):
+        net = ring_radial_city(n_rings=3, n_spokes=8)
+        assert net.num_nodes == 1 + 3 * 8
+
+    def test_strongly_connected(self):
+        assert network_strongly_connected(ring_radial_city())
+
+    def test_outer_ring_is_highway(self):
+        net = ring_radial_city(n_rings=2, n_spokes=6)
+        speeds = {s.speed_limit for s in net.segments()}
+        assert HIGHWAY_SPEED in speeds
+
+
+class TestManhattanLine:
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError):
+            manhattan_line(1)
+
+    def test_structure(self):
+        net = manhattan_line(4, spacing=50.0)
+        assert net.num_nodes == 4
+        assert net.num_segments == 6
+        assert network_strongly_connected(net)
+        assert net.node(3).point == Point(150.0, 0.0)

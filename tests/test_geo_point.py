@@ -1,0 +1,118 @@
+"""Unit tests for repro.geo.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.point import Point, centroid, euclidean, midpoint, squared_distance
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPointBasics:
+    def test_distance_to_self_is_zero(self):
+        p = Point(3.0, 4.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_345(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == 25.0
+
+    def test_translate(self):
+        assert Point(1, 2).translate(10, -2) == Point(11, 0)
+
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiplication(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_dot(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11.0
+
+    def test_cross_sign(self):
+        # Counterclockwise turn has positive cross product.
+        assert Point(1, 0).cross(Point(0, 1)) > 0
+        assert Point(0, 1).cross(Point(1, 0)) < 0
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5.0
+
+    def test_normalized(self):
+        n = Point(3, 4).normalized()
+        assert math.isclose(n.norm(), 1.0)
+        assert math.isclose(n.x, 0.6)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).normalized()
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.5, 2.5)
+        assert p.as_tuple() == (1.5, 2.5)
+        assert list(p) == [1.5, 2.5]
+
+    def test_immutable(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p.x = 5  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+class TestModuleFunctions:
+    def test_euclidean_matches_method(self):
+        a, b = Point(1, 1), Point(4, 5)
+        assert euclidean(a, b) == a.distance_to(b) == 5.0
+
+    def test_squared_distance_function(self):
+        assert squared_distance(Point(0, 0), Point(1, 1)) == 2.0
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_centroid(self):
+        c = centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert math.isclose(c.x, 1.0)
+        assert math.isclose(c.y, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_centroid_accepts_generator(self):
+        c = centroid(Point(float(i), 0.0) for i in range(3))
+        assert math.isclose(c.x, 1.0)
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert math.isclose(a.distance_to(b), b.distance_to(a), abs_tol=1e-9)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points, points)
+    def test_squared_distance_consistent(self, a, b):
+        assert math.isclose(
+            a.squared_distance_to(b), a.distance_to(b) ** 2, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(points)
+    def test_distance_nonnegative(self, p):
+        assert p.distance_to(Point(0, 0)) >= 0.0
+
+    @given(points, points)
+    def test_midpoint_equidistant(self, a, b):
+        m = midpoint(a, b)
+        assert math.isclose(m.distance_to(a), m.distance_to(b), rel_tol=1e-6, abs_tol=1e-6)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.geo.polyline."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.point import Point
+from repro.geo.polyline import (
+    interpolate_along,
+    point_to_polyline_distance,
+    polyline_bbox,
+    polyline_length,
+    project_point_to_polyline,
+    project_point_to_segment,
+    resample_polyline,
+)
+
+coords = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+polylines = st.lists(points, min_size=2, max_size=8)
+
+
+class TestLength:
+    def test_empty_and_single(self):
+        assert polyline_length([]) == 0.0
+        assert polyline_length([Point(1, 1)]) == 0.0
+
+    def test_l_shape(self):
+        assert polyline_length([Point(0, 0), Point(3, 0), Point(3, 4)]) == 7.0
+
+
+class TestSegmentProjection:
+    def test_interior(self):
+        p, t = project_point_to_segment(Point(1, 5), Point(0, 0), Point(2, 0))
+        assert p == Point(1, 0)
+        assert t == 0.5
+
+    def test_clamps_to_start(self):
+        p, t = project_point_to_segment(Point(-3, 1), Point(0, 0), Point(2, 0))
+        assert p == Point(0, 0)
+        assert t == 0.0
+
+    def test_clamps_to_end(self):
+        p, t = project_point_to_segment(Point(9, 1), Point(0, 0), Point(2, 0))
+        assert p == Point(2, 0)
+        assert t == 1.0
+
+    def test_degenerate_segment(self):
+        p, t = project_point_to_segment(Point(5, 5), Point(1, 1), Point(1, 1))
+        assert p == Point(1, 1)
+
+
+class TestPolylineProjection:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            project_point_to_polyline(Point(0, 0), [])
+
+    def test_single_point_polyline(self):
+        proj = project_point_to_polyline(Point(3, 4), [Point(0, 0)])
+        assert proj.distance == 5.0
+        assert proj.offset == 0.0
+
+    def test_projects_to_nearest_leg(self):
+        poly = [Point(0, 0), Point(10, 0), Point(10, 10)]
+        proj = project_point_to_polyline(Point(11, 9), poly)
+        assert proj.segment_index == 1
+        assert math.isclose(proj.distance, 1.0)
+        assert math.isclose(proj.offset, 19.0)
+
+    def test_distance_function(self):
+        poly = [Point(0, 0), Point(10, 0)]
+        assert point_to_polyline_distance(Point(5, 3), poly) == 3.0
+
+    @given(polylines, points)
+    def test_projection_point_on_or_near_polyline(self, poly, q):
+        proj = project_point_to_polyline(q, poly)
+        # The projected point is itself at ~zero distance from the polyline.
+        assert point_to_polyline_distance(proj.point, poly) <= 1e-6 + 1e-9 * abs(
+            proj.offset
+        )
+
+    @given(polylines, points)
+    def test_projection_is_nearest_vertex_bound(self, poly, q):
+        proj = project_point_to_polyline(q, poly)
+        best_vertex = min(q.distance_to(v) for v in poly)
+        assert proj.distance <= best_vertex + 1e-9
+
+    @given(polylines, points)
+    def test_offset_within_length(self, poly, q):
+        proj = project_point_to_polyline(q, poly)
+        assert -1e-9 <= proj.offset <= polyline_length(poly) + 1e-6
+
+
+class TestInterpolation:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            interpolate_along([], 1.0)
+
+    def test_clamps(self):
+        poly = [Point(0, 0), Point(10, 0)]
+        assert interpolate_along(poly, -5) == Point(0, 0)
+        assert interpolate_along(poly, 50) == Point(10, 0)
+
+    def test_midpoint(self):
+        poly = [Point(0, 0), Point(10, 0)]
+        assert interpolate_along(poly, 5) == Point(5, 0)
+
+    def test_across_vertices(self):
+        poly = [Point(0, 0), Point(10, 0), Point(10, 10)]
+        assert interpolate_along(poly, 15) == Point(10, 5)
+
+    @given(polylines, st.floats(0, 1))
+    def test_interpolated_point_is_on_polyline(self, poly, frac):
+        total = polyline_length(poly)
+        p = interpolate_along(poly, frac * total)
+        assert point_to_polyline_distance(p, poly) <= 1e-6
+
+
+class TestResample:
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            resample_polyline([Point(0, 0), Point(1, 0)], 0.0)
+        with pytest.raises(ValueError):
+            resample_polyline([], 1.0)
+
+    def test_keeps_endpoints(self):
+        poly = [Point(0, 0), Point(10, 0)]
+        out = resample_polyline(poly, 3.0)
+        assert out[0] == poly[0]
+        assert out[-1] == poly[-1]
+
+    def test_spacing_approximate(self):
+        poly = [Point(0, 0), Point(100, 0)]
+        out = resample_polyline(poly, 10.0)
+        assert len(out) == 11
+        gaps = [a.distance_to(b) for a, b in zip(out, out[1:])]
+        assert all(math.isclose(g, 10.0, rel_tol=1e-6) for g in gaps)
+
+    def test_zero_length_polyline(self):
+        out = resample_polyline([Point(1, 1), Point(1, 1)], 5.0)
+        assert out == [Point(1, 1)]
+
+
+class TestBBox:
+    def test_polyline_bbox(self):
+        b = polyline_bbox([Point(0, 5), Point(2, -1)])
+        assert (b.min_x, b.min_y, b.max_x, b.max_y) == (0, -1, 2, 5)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.geo.projection."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.point import Point
+from repro.geo.projection import EARTH_RADIUS_M, LonLatProjector, haversine_m
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(116.4, 39.9, 116.4, 39.9) == 0.0
+
+    def test_one_degree_latitude(self):
+        d = haversine_m(0.0, 0.0, 0.0, 1.0)
+        expected = EARTH_RADIUS_M * math.pi / 180.0
+        assert math.isclose(d, expected, rel_tol=1e-6)
+
+    def test_symmetry(self):
+        a = haversine_m(116.0, 39.0, 117.0, 40.0)
+        b = haversine_m(117.0, 40.0, 116.0, 39.0)
+        assert math.isclose(a, b)
+
+    def test_equator_longitude_degree(self):
+        d = haversine_m(0.0, 0.0, 1.0, 0.0)
+        expected = EARTH_RADIUS_M * math.pi / 180.0
+        assert math.isclose(d, expected, rel_tol=1e-6)
+
+
+class TestProjector:
+    def test_invalid_latitude(self):
+        with pytest.raises(ValueError):
+            LonLatProjector(0.0, 90.0)
+
+    def test_origin_maps_to_zero(self):
+        proj = LonLatProjector(116.4, 39.9)
+        p = proj.to_plane(116.4, 39.9)
+        assert p == Point(0.0, 0.0)
+
+    def test_north_is_positive_y(self):
+        proj = LonLatProjector(116.4, 39.9)
+        assert proj.to_plane(116.4, 39.91).y > 0
+
+    def test_east_is_positive_x(self):
+        proj = LonLatProjector(116.4, 39.9)
+        assert proj.to_plane(116.41, 39.9).x > 0
+
+    @given(
+        st.floats(-0.4, 0.4),
+        st.floats(-0.4, 0.4),
+    )
+    def test_round_trip(self, dlon, dlat):
+        proj = LonLatProjector(116.4, 39.9)
+        lon, lat = 116.4 + dlon, 39.9 + dlat
+        back_lon, back_lat = proj.to_lonlat(proj.to_plane(lon, lat))
+        assert math.isclose(back_lon, lon, abs_tol=1e-9)
+        assert math.isclose(back_lat, lat, abs_tol=1e-9)
+
+    def test_planar_distance_close_to_haversine(self):
+        # Within ~10 km of the origin the equirectangular error is tiny.
+        proj = LonLatProjector(116.4, 39.9)
+        a = proj.to_plane(116.40, 39.90)
+        b = proj.to_plane(116.45, 39.95)
+        planar = a.distance_to(b)
+        true = haversine_m(116.40, 39.90, 116.45, 39.95)
+        assert abs(planar - true) / true < 0.002

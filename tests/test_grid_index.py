@@ -1,0 +1,135 @@
+"""Unit and property tests for the uniform grid index."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+from repro.spatial.grid import GridIndex
+
+
+def _random_points(n, seed=0, extent=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, extent, size=(n, 2))]
+
+
+class TestBasics:
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(0.0)
+
+    def test_len_and_extend(self):
+        g: GridIndex[int] = GridIndex(100.0)
+        g.extend((p, i) for i, p in enumerate(_random_points(30)))
+        assert len(g) == 30
+        assert g.cell_size == 100.0
+
+    def test_negative_radius_raises(self):
+        g: GridIndex[int] = GridIndex(10.0)
+        with pytest.raises(ValueError):
+            g.search_radius(Point(0, 0), -1.0)
+
+    def test_negative_coordinates_supported(self):
+        g: GridIndex[int] = GridIndex(50.0)
+        g.insert(Point(-120, -10), 1)
+        assert g.search_radius(Point(-120, -10), 1.0) == [1]
+
+
+class TestQueries:
+    def test_bbox_matches_brute(self):
+        pts = _random_points(250, seed=1)
+        g: GridIndex[int] = GridIndex(80.0)
+        g.extend((p, i) for i, p in enumerate(pts))
+        box = BBox(100, 100, 420, 700)
+        expected = {i for i, p in enumerate(pts) if box.contains_point(p)}
+        assert set(g.search_bbox(box)) == expected
+
+    def test_radius_matches_brute(self):
+        pts = _random_points(250, seed=2)
+        g: GridIndex[int] = GridIndex(60.0)
+        g.extend((p, i) for i, p in enumerate(pts))
+        c = Point(400, 600)
+        expected = {i for i, p in enumerate(pts) if p.distance_to(c) <= 130}
+        assert set(g.search_radius(c, 130)) == expected
+
+    def test_nearest_empty(self):
+        g: GridIndex[int] = GridIndex(10.0)
+        assert g.nearest(Point(0, 0), 3) == []
+
+    def test_nearest_matches_brute(self):
+        pts = _random_points(150, seed=3)
+        g: GridIndex[int] = GridIndex(90.0)
+        g.extend((p, i) for i, p in enumerate(pts))
+        q = Point(512, 219)
+        got = [i for __, i in g.nearest(q, 7)]
+        expected = sorted(range(len(pts)), key=lambda i: pts[i].distance_to(q))[:7]
+        assert got == expected
+
+    def test_nearest_distant_query(self):
+        # Query far outside the data extent must still find the points.
+        g: GridIndex[int] = GridIndex(50.0)
+        g.insert(Point(0, 0), 0)
+        g.insert(Point(10, 0), 1)
+        got = [i for __, i in g.nearest(Point(5000, 5000), 2)]
+        assert set(got) == {0, 1}
+
+
+class TestDensity:
+    def test_zero_area_region(self):
+        g: GridIndex[int] = GridIndex(10.0)
+        assert g.density_per_km2(BBox(0, 0, 0, 0)) == 0.0
+
+    def test_density_computation(self):
+        g: GridIndex[int] = GridIndex(100.0)
+        # 10 points inside a 1 km x 1 km box.
+        for i in range(10):
+            g.insert(Point(i * 90.0 + 10, 500.0), i)
+        box = BBox(0, 0, 1000, 1000)
+        assert math.isclose(g.density_per_km2(box), 10.0)
+
+
+class TestDifferentialProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-500, 500), st.floats(-500, 500)),
+            min_size=0,
+            max_size=100,
+        ),
+        st.tuples(st.floats(-500, 500), st.floats(-500, 500)),
+        st.floats(1, 300),
+        st.sampled_from([13.0, 57.0, 250.0]),
+    )
+    def test_radius_differential(self, raw, center, radius, cell):
+        pts = [Point(x, y) for x, y in raw]
+        g: GridIndex[int] = GridIndex(cell)
+        g.extend((p, i) for i, p in enumerate(pts))
+        c = Point(*center)
+        expected = {i for i, p in enumerate(pts) if p.distance_to(c) <= radius}
+        assert set(g.search_radius(c, radius)) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-500, 500), st.floats(-500, 500)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.tuples(st.floats(-500, 500), st.floats(-500, 500)),
+        st.integers(1, 8),
+        st.sampled_from([20.0, 110.0]),
+    )
+    def test_nearest_differential(self, raw, q, k, cell):
+        pts = [Point(x, y) for x, y in raw]
+        g: GridIndex[int] = GridIndex(cell)
+        g.extend((p, i) for i, p in enumerate(pts))
+        query = Point(*q)
+        got = [d for d, __ in g.nearest(query, k)]
+        expected = sorted(p.distance_to(query) for p in pts)[:k]
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,101 @@
+"""Unit tests for the experiment harness and report generator."""
+
+import math
+
+import pytest
+
+from repro.eval.harness import (
+    ExperimentTable,
+    evaluate_accuracy,
+    evaluate_accuracy_and_time,
+)
+from repro.eval.report import build_report, collect_results
+
+
+class TestExperimentTable:
+    def test_record_and_series(self):
+        t = ExperimentTable("demo", "x")
+        t.record(1, "a", 0.5)
+        t.record(2, "a", 0.6)
+        t.record(1, "b", 0.7)
+        assert t.xs == [1, 2]
+        assert t.series_names == ["a", "b"]
+        assert t.series("a") == [0.5, 0.6]
+        assert t.series("b")[0] == 0.7
+        assert math.isnan(t.series("b")[1])
+
+    def test_format_contains_everything(self):
+        t = ExperimentTable("My Title", "interval")
+        t.record(3, "HRIS", 0.876)
+        text = t.format()
+        assert "My Title" in text
+        assert "interval" in text
+        assert "HRIS" in text
+        assert "0.876" in text
+
+    def test_format_precision(self):
+        t = ExperimentTable("demo", "x")
+        t.record(1, "a", 0.123456)
+        assert "0.12" in t.format(precision=2)
+
+    def test_save(self, tmp_path):
+        t = ExperimentTable("demo", "x")
+        t.record(1, "a", 1.0)
+        t.save(tmp_path / "sub" / "demo.txt")
+        assert (tmp_path / "sub" / "demo.txt").read_text().startswith("== demo ==")
+
+    def test_unknown_series_is_nan(self):
+        t = ExperimentTable("demo", "x")
+        t.record(1, "a", 1.0)
+        assert math.isnan(t.series("zzz")[0])
+
+
+class TestEvaluators:
+    def test_no_evaluable_queries_raises(self, corridor_world):
+        from repro.mapmatching import HMMMatcher
+
+        world = corridor_world
+        matcher = HMMMatcher(world.network)
+        # A huge interval turns every query into <2 points... the helper
+        # keeps endpoints, so use an empty case list to force the error.
+        with pytest.raises(ValueError):
+            evaluate_accuracy(world.network, matcher, [], 60.0)
+
+    def test_accuracy_and_time(self, corridor_world):
+        from repro.datasets.synthetic import QueryCase
+        from repro.mapmatching import HMMMatcher
+
+        world = corridor_world
+        case = QueryCase(query=world.query, truth=world.truth)
+        acc, secs = evaluate_accuracy_and_time(
+            world.network, HMMMatcher(world.network), [case], 60.0
+        )
+        assert 0.0 <= acc <= 1.0
+        assert secs > 0.0
+
+
+class TestReport:
+    def test_collect_missing_dir(self, tmp_path):
+        assert collect_results(tmp_path / "nope") == {}
+
+    def test_collect_and_build(self, tmp_path):
+        (tmp_path / "fig8a.txt").write_text("== Fig 8a ==\nrows\n")
+        (tmp_path / "custom.txt").write_text("custom table\n")
+        results = collect_results(tmp_path)
+        assert set(results) == {"fig8a", "custom"}
+        report = build_report(results, title="Test run")
+        assert report.startswith("# Test run")
+        # Known figure renders with its heading, unknown one appended.
+        assert "## Fig. 8a — accuracy vs sampling interval" in report
+        assert "## custom" in report
+        assert report.index("Fig. 8a") < report.index("## custom")
+
+    def test_cli_entry(self, tmp_path, capsys):
+        from repro.eval.report import main
+
+        (tmp_path / "fig14a.txt").write_text("table\n")
+        out_md = tmp_path / "report.md"
+        assert main([str(tmp_path), str(out_md)]) == 0
+        assert out_md.exists()
+        assert main([str(tmp_path / "empty")]) == 1
+        assert main([]) == 2

@@ -1,0 +1,88 @@
+"""Unit tests for temporal trajectory interpolation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.point import Point
+from repro.trajectory.interpolate import position_at, resample_uniform
+from repro.trajectory.model import GPSPoint, Trajectory
+
+
+def straight_drive():
+    # 10 m/s east, samples every 10 s.
+    return Trajectory.build(
+        1, [GPSPoint(Point(i * 100.0, 0.0), i * 10.0) for i in range(5)]
+    )
+
+
+class TestPositionAt:
+    def test_clamps_before_start(self):
+        t = straight_drive()
+        assert position_at(t, -100.0) == Point(0, 0)
+
+    def test_clamps_after_end(self):
+        t = straight_drive()
+        assert position_at(t, 10_000.0) == Point(400, 0)
+
+    def test_exact_sample_times(self):
+        t = straight_drive()
+        for i in range(5):
+            assert position_at(t, i * 10.0) == Point(i * 100.0, 0.0)
+
+    def test_midpoint(self):
+        t = straight_drive()
+        assert position_at(t, 15.0) == Point(150.0, 0.0)
+
+    def test_nonuniform_sampling(self):
+        t = Trajectory.build(
+            1,
+            [
+                GPSPoint(Point(0, 0), 0.0),
+                GPSPoint(Point(100, 0), 40.0),
+                GPSPoint(Point(100, 100), 50.0),
+            ],
+        )
+        assert position_at(t, 20.0) == Point(50.0, 0.0)
+        assert position_at(t, 45.0) == Point(100.0, 50.0)
+
+    @given(st.floats(0.0, 40.0))
+    @settings(max_examples=40)
+    def test_interpolation_stays_on_path(self, t_query):
+        t = straight_drive()
+        p = position_at(t, t_query)
+        assert p.y == 0.0
+        assert 0.0 <= p.x <= 400.0
+        # Constant-speed drive: x is exactly 10 * t.
+        assert math.isclose(p.x, 10.0 * t_query, abs_tol=1e-9)
+
+
+class TestResampleUniform:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            resample_uniform(straight_drive(), 0.0)
+
+    def test_uniform_clock(self):
+        out = resample_uniform(straight_drive(), 7.0)
+        gaps = [b.t - a.t for a, b in zip(out.points, out.points[1:-1])]
+        assert all(math.isclose(g, 7.0) for g in gaps)
+
+    def test_endpoints_preserved(self):
+        t = straight_drive()
+        out = resample_uniform(t, 7.0)
+        assert out[0].t == t[0].t
+        assert out[len(out) - 1].t == t[4].t
+        assert out[len(out) - 1].point == t[4].point
+
+    def test_upsampling_densifies(self):
+        t = straight_drive()
+        out = resample_uniform(t, 1.0)
+        assert len(out) > len(t)
+        # Every interpolated point sits on the straight path.
+        assert all(p.point.y == 0.0 for p in out.points)
+
+    def test_single_point_passthrough(self):
+        t = Trajectory.build(1, [GPSPoint(Point(0, 0), 0.0)])
+        assert resample_uniform(t, 5.0) is t

@@ -1,0 +1,154 @@
+"""Unit and property tests for Yen's K-shortest paths."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.ksp import dijkstra_generic, yen_k_shortest_paths
+
+
+def adj_from_dict(graph):
+    return lambda n: iter(graph.get(n, []))
+
+
+DIAMOND = {
+    "s": [("a", 1.0), ("b", 2.0)],
+    "a": [("t", 1.0), ("b", 0.5)],
+    "b": [("t", 1.0)],
+    "t": [],
+}
+
+
+class TestDijkstraGeneric:
+    def test_trivial(self):
+        assert dijkstra_generic(adj_from_dict(DIAMOND), "s", "s") == (0.0, ["s"])
+
+    def test_shortest(self):
+        cost, path = dijkstra_generic(adj_from_dict(DIAMOND), "s", "t")
+        assert cost == 2.0
+        assert path == ["s", "a", "t"]
+
+    def test_unreachable(self):
+        cost, path = dijkstra_generic(adj_from_dict({"s": []}), "s", "t")
+        assert math.isinf(cost)
+        assert path == []
+
+    def test_removed_edge(self):
+        cost, path = dijkstra_generic(
+            adj_from_dict(DIAMOND), "s", "t", removed_edges={("s", "a")}
+        )
+        assert path == ["s", "b", "t"]
+
+    def test_removed_node(self):
+        cost, path = dijkstra_generic(
+            adj_from_dict(DIAMOND), "s", "t", removed_nodes={"a"}
+        )
+        assert path == ["s", "b", "t"]
+
+    def test_negative_weight_raises(self):
+        bad = {"s": [("t", -1.0)], "t": []}
+        with pytest.raises(ValueError):
+            dijkstra_generic(adj_from_dict(bad), "s", "t")
+
+
+class TestYen:
+    def test_k_zero(self):
+        assert yen_k_shortest_paths(adj_from_dict(DIAMOND), "s", "t", 0) == []
+
+    def test_no_path(self):
+        assert yen_k_shortest_paths(adj_from_dict({"s": []}), "s", "t", 3) == []
+
+    def test_diamond_all_paths(self):
+        got = yen_k_shortest_paths(adj_from_dict(DIAMOND), "s", "t", 5)
+        assert [cost for cost, __ in got] == [2.0, 2.5, 3.0]
+        assert got[0][1] == ["s", "a", "t"]
+        assert got[1][1] == ["s", "a", "b", "t"]
+        assert got[2][1] == ["s", "b", "t"]
+
+    def test_costs_nondecreasing(self):
+        got = yen_k_shortest_paths(adj_from_dict(DIAMOND), "s", "t", 5)
+        costs = [c for c, __ in got]
+        assert costs == sorted(costs)
+
+    def test_paths_distinct_and_loopless(self):
+        got = yen_k_shortest_paths(adj_from_dict(DIAMOND), "s", "t", 5)
+        keys = {tuple(p) for __, p in got}
+        assert len(keys) == len(got)
+        for __, p in got:
+            assert len(set(p)) == len(p)
+
+    def test_grid_graph(self):
+        # 3x3 lattice: number of monotone shortest paths from corner to
+        # corner is C(4,2)=6, all of cost 4.
+        graph = {}
+        for x in range(3):
+            for y in range(3):
+                out = []
+                if x < 2:
+                    out.append(((x + 1, y), 1.0))
+                if y < 2:
+                    out.append(((x, y + 1), 1.0))
+                graph[(x, y)] = out
+        got = yen_k_shortest_paths(adj_from_dict(graph), (0, 0), (2, 2), 6)
+        assert len(got) == 6
+        assert all(cost == 4.0 for cost, __ in got)
+
+
+@st.composite
+def random_digraphs(draw):
+    n = draw(st.integers(4, 8))
+    edges = {}
+    for u in range(n):
+        out = []
+        for v in range(n):
+            if u == v:
+                continue
+            if draw(st.booleans()):
+                w = draw(st.floats(0.1, 10.0))
+                out.append((v, w))
+        edges[u] = out
+    return n, edges
+
+
+def brute_force_k_paths(graph, s, t, k, max_len=8):
+    """All simple paths up to max_len, scored and sorted."""
+
+    def cost_of(path):
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            w = min((w for n, w in graph[u] if n == v), default=math.inf)
+            total += w
+        return total
+
+    results = []
+
+    def dfs(node, path):
+        if len(path) > max_len:
+            return
+        if node == t:
+            results.append((cost_of(path), list(path)))
+            return
+        for v, __ in graph[node]:
+            if v not in path:
+                path.append(v)
+                dfs(v, path)
+                path.pop()
+
+    dfs(s, [s])
+    results.sort(key=lambda pair: (pair[0], pair[1]))
+    return results[:k]
+
+
+class TestYenDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(random_digraphs(), st.integers(1, 4))
+    def test_costs_match_brute_force(self, graph_spec, k):
+        n, graph = graph_spec
+        got = yen_k_shortest_paths(adj_from_dict(graph), 0, n - 1, k)
+        expected = brute_force_k_paths(graph, 0, n - 1, k)
+        got_costs = [round(c, 9) for c, __ in got]
+        expected_costs = [round(c, 9) for c, __ in expected]
+        assert got_costs == expected_costs

@@ -1,0 +1,122 @@
+"""Unit and property tests for the A_L accuracy metric."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    lcr_length,
+    overlap_accuracy,
+    overlap_length,
+    precision_recall,
+    route_accuracy,
+)
+from repro.roadnet.generators import manhattan_line
+from repro.roadnet.route import Route
+
+
+@pytest.fixture(scope="module")
+def line():
+    # Segments 0..9 alternate east/west; each 100 m long.
+    return manhattan_line(n_nodes=6, spacing=100.0)
+
+
+class TestLCR:
+    def test_empty_routes(self, line):
+        assert lcr_length(line, Route.empty(), Route.of([0])) == 0.0
+        assert lcr_length(line, Route.of([0]), Route.empty()) == 0.0
+
+    def test_identical(self, line):
+        r = Route.of([0, 2, 4])
+        assert lcr_length(line, r, r) == 300.0
+
+    def test_disjoint(self, line):
+        assert lcr_length(line, Route.of([0, 2]), Route.of([6, 8])) == 0.0
+
+    def test_partial_overlap(self, line):
+        assert lcr_length(line, Route.of([0, 2, 4]), Route.of([2, 4, 6])) == 200.0
+
+    def test_order_matters(self, line):
+        # Common segments out of order do not form a common subsequence.
+        a = Route.of([0, 2])
+        b = Route.of([2, 0])
+        assert lcr_length(line, a, b) == 100.0  # only one can align
+
+
+class TestRouteAccuracy:
+    def test_perfect(self, line):
+        r = Route.of([0, 2, 4])
+        assert route_accuracy(line, r, r) == 1.0
+
+    def test_empty_is_zero(self, line):
+        assert route_accuracy(line, Route.empty(), Route.of([0])) == 0.0
+        assert route_accuracy(line, Route.of([0]), Route.empty()) == 0.0
+
+    def test_denominator_is_longer_route(self, line):
+        truth = Route.of([0, 2])
+        bloated = Route.of([0, 2, 4, 6])
+        assert math.isclose(route_accuracy(line, truth, bloated), 200.0 / 400.0)
+
+    def test_missing_coverage_penalised(self, line):
+        truth = Route.of([0, 2, 4, 6])
+        partial = Route.of([0, 2])
+        assert math.isclose(route_accuracy(line, truth, partial), 0.5)
+
+    def test_symmetric(self, line):
+        a = Route.of([0, 2, 4])
+        b = Route.of([2, 4, 6])
+        assert math.isclose(
+            route_accuracy(line, a, b), route_accuracy(line, b, a)
+        )
+
+    @given(
+        st.lists(st.sampled_from([0, 2, 4, 6, 8]), min_size=1, max_size=5),
+        st.lists(st.sampled_from([0, 2, 4, 6, 8]), min_size=1, max_size=5),
+    )
+    @settings(max_examples=40)
+    def test_bounded_unit_interval(self, a, b):
+        line = manhattan_line(n_nodes=6, spacing=100.0)
+        acc = route_accuracy(line, Route.of(a), Route.of(b))
+        assert 0.0 <= acc <= 1.0 + 1e-12
+
+    @given(st.lists(st.sampled_from([0, 2, 4, 6, 8]), min_size=1, max_size=5))
+    @settings(max_examples=20)
+    def test_self_accuracy_is_one(self, ids):
+        line = manhattan_line(n_nodes=6, spacing=100.0)
+        r = Route.of(ids)
+        assert math.isclose(route_accuracy(line, r, r), 1.0)
+
+
+class TestOverlap:
+    def test_overlap_upper_bounds_lcs(self, line):
+        a = Route.of([0, 2, 4])
+        b = Route.of([4, 2, 0])
+        assert overlap_accuracy(line, a, b) >= route_accuracy(line, a, b)
+
+    def test_overlap_length(self, line):
+        assert overlap_length(line, Route.of([0, 2]), Route.of([2, 4])) == 100.0
+
+
+class TestPrecisionRecall:
+    def test_empty(self, line):
+        assert precision_recall(line, Route.empty(), Route.of([0])) == (0.0, 0.0)
+
+    def test_perfect(self, line):
+        r = Route.of([0, 2])
+        assert precision_recall(line, r, r) == (1.0, 1.0)
+
+    def test_bloated_inferred(self, line):
+        truth = Route.of([0, 2])
+        bloated = Route.of([0, 2, 4, 6])
+        p, r = precision_recall(line, truth, bloated)
+        assert math.isclose(p, 0.5)
+        assert math.isclose(r, 1.0)
+
+    def test_partial_inferred(self, line):
+        truth = Route.of([0, 2, 4, 6])
+        partial = Route.of([0, 2])
+        p, r = precision_recall(line, truth, partial)
+        assert math.isclose(p, 1.0)
+        assert math.isclose(r, 0.5)

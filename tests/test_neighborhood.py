@@ -1,0 +1,76 @@
+"""Unit tests for λ-neighborhoods (Definition 8)."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet.generators import GridCityConfig, grid_city, manhattan_line
+from repro.roadnet.neighborhood import hop_distance, hop_distances, lambda_neighborhood
+
+
+@pytest.fixture(scope="module")
+def line():
+    # Eastbound segments 0,2,4,6,8; westbound 1,3,5,7,9 (6 nodes).
+    return manhattan_line(n_nodes=6, spacing=100.0)
+
+
+class TestHopDistances:
+    def test_source_is_zero(self, line):
+        assert hop_distances(line, 0, 3)[0] == 0
+
+    def test_chain_hops(self, line):
+        d = hop_distances(line, 0, 4)
+        assert d[2] == 1
+        assert d[4] == 2
+        assert d[6] == 3
+
+    def test_reverse_twin_is_one_hop(self, line):
+        # From eastbound segment 0 (node0->node1) the westbound segment
+        # 1 (node1->node0) is an immediate successor (a U-turn).
+        d = hop_distances(line, 0, 2)
+        assert d[1] == 1
+
+    def test_bounded(self, line):
+        d = hop_distances(line, 0, 1)
+        assert 4 not in d
+
+    def test_negative_raises(self, line):
+        with pytest.raises(ValueError):
+            hop_distances(line, 0, -1)
+
+
+class TestLambdaNeighborhood:
+    def test_lambda_zero_empty(self, line):
+        assert lambda_neighborhood(line, 0, 0) == set()
+
+    def test_lambda_one_excludes_source(self, line):
+        # h(r, s) < 1 means only the source itself, which is excluded.
+        assert lambda_neighborhood(line, 0, 1) == set()
+
+    def test_lambda_two_is_immediate_successors(self, line):
+        # Matches the paper's Fig. 4: λ=2 connects "within one hop".
+        n = lambda_neighborhood(line, 0, 2)
+        assert n == {1, 2}
+
+    def test_monotone_in_lambda(self, line):
+        prev = set()
+        for lam in range(1, 6):
+            cur = lambda_neighborhood(line, 0, lam)
+            assert prev <= cur
+            prev = cur
+
+    def test_grid_city_neighborhood_grows(self):
+        net = grid_city(GridCityConfig(nx=6, ny=6), np.random.default_rng(2))
+        sid = next(iter(net.segments())).segment_id
+        sizes = [len(lambda_neighborhood(net, sid, lam)) for lam in (2, 3, 4)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestHopDistance:
+    def test_direct(self, line):
+        assert hop_distance(line, 0, 2, 5) == 1
+
+    def test_sentinel_beyond_bound(self, line):
+        assert hop_distance(line, 0, 8, 2) == 3  # max_hops + 1 sentinel
+
+    def test_self(self, line):
+        assert hop_distance(line, 0, 0, 3) == 0

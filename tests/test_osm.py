@@ -1,0 +1,173 @@
+"""Unit tests for the OSM XML importer, against a handcrafted extract.
+
+The sample models a T-junction town: an east-west residential street, a
+one-way primary road crossing it, and an unrelated footpath that must be
+filtered out.
+"""
+
+import math
+
+import pytest
+
+from repro.roadnet.osm import (
+    DEFAULT_SPEEDS_KMH,
+    OSMImportConfig,
+    _parse_maxspeed,
+    parse_osm_network,
+)
+
+# A 0.01-degree extent around (116.40, 39.90): roughly 850 x 1100 m.
+SAMPLE_OSM = """<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="handcrafted">
+  <node id="1" lat="39.9000" lon="116.4000"/>
+  <node id="2" lat="39.9000" lon="116.4050"/>
+  <node id="3" lat="39.9000" lon="116.4100"/>
+  <node id="4" lat="39.9050" lon="116.4050"/>
+  <node id="5" lat="39.8950" lon="116.4050"/>
+  <node id="6" lat="39.9025" lon="116.4075"/>
+  <way id="100">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="residential"/>
+    <tag k="name" v="Main Street"/>
+  </way>
+  <way id="101">
+    <nd ref="4"/><nd ref="2"/><nd ref="5"/>
+    <tag k="highway" v="primary"/>
+    <tag k="oneway" v="yes"/>
+    <tag k="maxspeed" v="70"/>
+  </way>
+  <way id="102">
+    <nd ref="3"/><nd ref="6"/>
+    <tag k="highway" v="footway"/>
+  </way>
+</osm>
+"""
+
+
+class TestMaxspeedParsing:
+    def test_plain_number(self):
+        assert _parse_maxspeed("50") == 50.0
+
+    def test_kmh_suffix(self):
+        assert _parse_maxspeed("50 km/h") == 50.0
+
+    def test_mph(self):
+        assert math.isclose(_parse_maxspeed("30 mph"), 48.28032)
+
+    def test_garbage(self):
+        assert _parse_maxspeed("walk") is None
+        assert _parse_maxspeed(None) is None
+        assert _parse_maxspeed("") is None
+
+
+class TestImport:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return parse_osm_network(SAMPLE_OSM)
+
+    def test_footway_excluded(self, network):
+        # Node 6 belongs only to the footway: never becomes a vertex.
+        # Vertices: 1, 2, 3 (Main St, split at 2), 4, 5 (primary).
+        assert network.num_nodes == 5
+
+    def test_way_split_at_junction(self, network):
+        # Main Street splits into 1-2 and 2-3, bidirectional -> 4 segments;
+        # the one-way primary splits into 4-2 and 2-5 -> 2 segments.
+        assert network.num_segments == 6
+
+    def test_oneway_respected(self, network):
+        oneway_count = 0
+        for seg in network.segments():
+            if network.reverse_of(seg.segment_id) is None:
+                oneway_count += 1
+        assert oneway_count == 2
+
+    def test_maxspeed_applied(self, network):
+        speeds = {round(s.speed_limit * 3.6) for s in network.segments()}
+        assert 70 in speeds  # the primary's maxspeed tag
+        assert round(DEFAULT_SPEEDS_KMH["residential"]) in speeds
+
+    def test_geometry_scale_sane(self, network):
+        # 0.005 degrees of longitude at 39.9N is ~427 m.
+        lengths = sorted(s.length for s in network.segments())
+        assert 380 < lengths[0] < 480
+
+    def test_network_routable(self, network):
+        from repro.roadnet.shortest_path import dijkstra
+
+        # From the west end of Main Street to the primary's south end.
+        west = network.nearest_node(network.bbox().center.translate(-400, 0))
+        d, path = dijkstra(network, west.node_id, 4)
+        assert path or math.isinf(d)  # routable or explicitly unreachable
+
+    def test_highway_class_filter(self):
+        net = parse_osm_network(
+            SAMPLE_OSM, OSMImportConfig(highway_classes={"primary"})
+        )
+        # With Main Street filtered out, node 2 stops being a junction, so
+        # the one-way primary remains one unsplit segment whose polyline
+        # keeps node 2 as an interior shape point.
+        assert net.num_segments == 1
+        only = next(iter(net.segments()))
+        assert len(only.polyline) == 3
+
+    def test_no_usable_ways_raises(self):
+        with pytest.raises(ValueError, match="no usable highway"):
+            parse_osm_network(
+                SAMPLE_OSM, OSMImportConfig(highway_classes={"motorway"})
+            )
+
+    def test_explicit_origin(self):
+        net = parse_osm_network(
+            SAMPLE_OSM, OSMImportConfig(origin=(116.4000, 39.9000))
+        )
+        # Node 1 sits at the origin.
+        closest = net.nearest_node(net.node(0).point)
+        assert net.node(0).point.norm() < 1.0 or closest is not None
+
+    def test_file_loading(self, tmp_path):
+        from repro.roadnet.osm import load_osm_network
+
+        path = tmp_path / "town.osm"
+        path.write_text(SAMPLE_OSM, encoding="utf-8")
+        net = load_osm_network(path)
+        assert net.num_segments == 6
+
+
+class TestEndToEndOnOSM:
+    def test_hris_runs_on_imported_map(self):
+        """The whole pipeline must run on an OSM-imported network."""
+        import numpy as np
+
+        from repro.core.archive import TrajectoryArchive
+        from repro.core.system import HRIS, HRISConfig
+        from repro.roadnet.shortest_path import shortest_route_between_nodes
+        from repro.trajectory.model import GPSPoint, Trajectory
+        from repro.trajectory.simulate import DriveConfig, drive_route
+
+        network = parse_osm_network(SAMPLE_OSM)
+        rng = np.random.default_rng(1)
+        # Drive along Main Street a few times to build history.
+        archive = TrajectoryArchive()
+        d, route = shortest_route_between_nodes(network, 0, 2)
+        if math.isinf(d):
+            pytest.skip("sample map not routable end to end")
+        for k in range(4):
+            drive = drive_route(
+                network,
+                route,
+                k,
+                config=DriveConfig(sample_interval_s=20.0, gps_sigma_m=8.0),
+                rng=rng,
+            )
+            archive.add(drive.trajectory)
+
+        hris = HRIS(network, archive, HRISConfig(candidate_radius=80.0))
+        start = network.node(0).point
+        end = network.node(2).point
+        query = Trajectory.build(
+            99, [GPSPoint(start, 0.0), GPSPoint(end, 240.0)]
+        )
+        routes = hris.infer_routes(query, 2)
+        assert routes
+        assert routes[0].route.is_connected(network)

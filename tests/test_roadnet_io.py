@@ -1,0 +1,48 @@
+"""Round-trip tests for road-network serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet.generators import GridCityConfig, grid_city
+from repro.roadnet.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(GridCityConfig(nx=5, ny=5), np.random.default_rng(31))
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, city):
+        restored = network_from_dict(network_to_dict(city))
+        assert restored.num_nodes == city.num_nodes
+        assert restored.num_segments == city.num_segments
+        for seg in city.segments():
+            other = restored.segment(seg.segment_id)
+            assert other.start == seg.start
+            assert other.end == seg.end
+            assert other.polyline == seg.polyline
+            assert other.speed_limit == seg.speed_limit
+
+    def test_file_round_trip(self, city, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(city, path)
+        restored = load_network(path)
+        assert restored.num_segments == city.num_segments
+        assert restored.max_speed == city.max_speed
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown network format"):
+            network_from_dict({"format": "bogus", "nodes": [], "segments": []})
+
+    def test_adjacency_preserved(self, city):
+        restored = network_from_dict(network_to_dict(city))
+        for seg in city.segments():
+            assert sorted(restored.successors(seg.segment_id)) == sorted(
+                city.successors(seg.segment_id)
+            )

@@ -1,0 +1,87 @@
+"""Unit tests for repro.roadnet.route."""
+
+import pytest
+
+from repro.geo.point import Point
+from repro.roadnet.generators import manhattan_line
+from repro.roadnet.route import Route
+
+
+@pytest.fixture()
+def line():
+    # 5 nodes in a row, segments 0,2,4,6 eastbound and 1,3,5,7 westbound.
+    return manhattan_line(n_nodes=5, spacing=100.0)
+
+
+class TestBasics:
+    def test_empty(self):
+        r = Route.empty()
+        assert len(r) == 0
+        assert not r
+        assert list(r) == []
+
+    def test_of_and_contains(self):
+        r = Route.of([0, 2, 4])
+        assert len(r) == 3
+        assert 2 in r
+        assert 3 not in r
+
+    def test_first_last(self):
+        r = Route.of([0, 2, 4])
+        assert r.first == 0
+        assert r.last == 4
+
+    def test_first_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            __ = Route.empty().first
+
+
+class TestNetworkQueries:
+    def test_endpoints(self, line):
+        r = Route.of([0, 2, 4])
+        assert r.start_node(line) == 0
+        assert r.end_node(line) == 3
+        assert r.start_point(line) == Point(0, 0)
+        assert r.end_point(line) == Point(300, 0)
+
+    def test_length(self, line):
+        assert Route.of([0, 2, 4]).length(line) == 300.0
+        assert Route.empty().length(line) == 0.0
+
+    def test_is_connected(self, line):
+        assert Route.of([0, 2, 4]).is_connected(line)
+        assert not Route.of([0, 4]).is_connected(line)
+
+    def test_validate_raises_with_message(self, line):
+        with pytest.raises(ValueError, match="route break"):
+            Route.of([0, 4]).validate(line)
+
+    def test_node_sequence(self, line):
+        assert Route.of([0, 2, 4]).node_sequence(line) == [0, 1, 2, 3]
+
+    def test_points_concatenates_dedup(self, line):
+        pts = Route.of([0, 2]).points(line)
+        assert pts == [Point(0, 0), Point(100, 0), Point(200, 0)]
+
+
+class TestCombinators:
+    def test_concat_plain(self):
+        assert Route.of([1, 2]).concat(Route.of([3])).segment_ids == (1, 2, 3)
+
+    def test_concat_drops_shared_junction(self):
+        assert Route.of([1, 2]).concat(Route.of([2, 3])).segment_ids == (1, 2, 3)
+
+    def test_concat_with_empty(self):
+        r = Route.of([1])
+        assert r.concat(Route.empty()) == r
+        assert Route.empty().concat(r) == r
+
+    def test_dedupe_consecutive(self):
+        assert Route.of([1, 1, 2, 2, 2, 1]).dedupe_consecutive().segment_ids == (
+            1,
+            2,
+            1,
+        )
+
+    def test_dedupe_empty(self):
+        assert Route.empty().dedupe_consecutive() == Route.empty()

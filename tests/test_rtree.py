@@ -1,0 +1,273 @@
+"""Unit and property tests for the R-tree."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+from repro.spatial.rtree import RTree
+
+
+def _random_points(n, seed=0, extent=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, extent, size=(n, 2))]
+
+
+def _brute_range(points, box):
+    return {i for i, p in enumerate(points) if box.contains_point(p)}
+
+
+def _brute_knn(points, q, k):
+    order = sorted(range(len(points)), key=lambda i: points[i].distance_to(q))
+    return order[:k]
+
+
+class TestConstruction:
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_empty_tree(self):
+        t: RTree[int] = RTree()
+        assert len(t) == 0
+        assert t.search_bbox(BBox(0, 0, 1, 1)) == []
+        assert t.nearest(Point(0, 0), 3) == []
+
+    def test_len_after_inserts(self):
+        t: RTree[int] = RTree(max_entries=4)
+        for i, p in enumerate(_random_points(50)):
+            t.insert_point(p, i)
+        assert len(t) == 50
+        t.check_invariants()
+
+    def test_bulk_load_sizes(self):
+        pts = _random_points(257, seed=3)
+        t = RTree.bulk_load(
+            ((BBox.from_point(p), i) for i, p in enumerate(pts)), max_entries=8
+        )
+        assert len(t) == 257
+        t.check_invariants()
+
+    def test_bulk_load_empty(self):
+        t: RTree[int] = RTree.bulk_load([])
+        assert len(t) == 0
+
+    def test_height_grows_logarithmically(self):
+        pts = _random_points(1000, seed=4)
+        t = RTree.bulk_load(
+            ((BBox.from_point(p), i) for i, p in enumerate(pts)), max_entries=8
+        )
+        assert t.height <= 5
+
+    def test_items_roundtrip(self):
+        pts = _random_points(30, seed=5)
+        t: RTree[int] = RTree(max_entries=4)
+        for i, p in enumerate(pts):
+            t.insert_point(p, i)
+        got = sorted(item for __, item in t.items())
+        assert got == list(range(30))
+
+
+class TestRangeQueries:
+    @pytest.mark.parametrize("builder", ["insert", "bulk"])
+    def test_matches_brute_force(self, builder):
+        pts = _random_points(300, seed=7)
+        if builder == "insert":
+            t: RTree[int] = RTree(max_entries=8)
+            for i, p in enumerate(pts):
+                t.insert_point(p, i)
+        else:
+            t = RTree.bulk_load(
+                ((BBox.from_point(p), i) for i, p in enumerate(pts)), max_entries=8
+            )
+        for box in (BBox(0, 0, 200, 200), BBox(400, 400, 600, 900), BBox(999, 999, 1000, 1000)):
+            assert set(t.search_bbox(box)) == _brute_range(pts, box)
+
+    def test_radius_query_exact_for_points(self):
+        pts = _random_points(200, seed=8)
+        t: RTree[int] = RTree(max_entries=8)
+        for i, p in enumerate(pts):
+            t.insert_point(p, i)
+        center = Point(500, 500)
+        got = set(t.search_radius(center, 150))
+        expected = {i for i, p in enumerate(pts) if p.distance_to(center) <= 150}
+        assert got == expected
+
+    def test_radius_negative_raises(self):
+        t: RTree[int] = RTree()
+        with pytest.raises(ValueError):
+            t.search_radius(Point(0, 0), -1)
+
+    def test_radius_with_position_extractor(self):
+        t: RTree[tuple] = RTree(max_entries=4)
+        pts = _random_points(50, seed=9)
+        for i, p in enumerate(pts):
+            t.insert_point(p, (i, p))
+        got = t.search_radius(Point(500, 500), 200, position=lambda item: item[1])
+        for __, p in got:
+            assert p.distance_to(Point(500, 500)) <= 200
+
+
+class TestNearest:
+    def test_knn_matches_brute_force(self):
+        pts = _random_points(400, seed=11)
+        t = RTree.bulk_load(
+            ((BBox.from_point(p), i) for i, p in enumerate(pts)), max_entries=8
+        )
+        q = Point(321, 654)
+        for k in (1, 5, 17):
+            got = [item for __, item in t.nearest(q, k)]
+            assert got == _brute_knn(pts, q, k)
+
+    def test_knn_distances_sorted(self):
+        pts = _random_points(100, seed=12)
+        t = RTree.bulk_load(((BBox.from_point(p), i) for i, p in enumerate(pts)))
+        dists = [d for d, __ in t.nearest(Point(0, 0), 20)]
+        assert dists == sorted(dists)
+
+    def test_knn_k_larger_than_size(self):
+        pts = _random_points(5, seed=13)
+        t: RTree[int] = RTree()
+        for i, p in enumerate(pts):
+            t.insert_point(p, i)
+        assert len(t.nearest(Point(0, 0), 100)) == 5
+
+    def test_knn_zero_k(self):
+        t: RTree[int] = RTree()
+        t.insert_point(Point(0, 0), 0)
+        assert t.nearest(Point(0, 0), 0) == []
+
+
+class TestInvariantProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1000), st.floats(0, 1000)),
+            min_size=1,
+            max_size=120,
+        ),
+        st.sampled_from([4, 6, 16]),
+    )
+    def test_insert_preserves_invariants(self, raw, fanout):
+        t: RTree[int] = RTree(max_entries=fanout)
+        for i, (x, y) in enumerate(raw):
+            t.insert_point(Point(x, y), i)
+        t.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1000), st.floats(0, 1000)),
+            min_size=1,
+            max_size=120,
+        ),
+        st.tuples(st.floats(0, 1000), st.floats(0, 1000)),
+        st.floats(10, 400),
+    )
+    def test_range_differential_vs_brute(self, raw, center, half):
+        pts = [Point(x, y) for x, y in raw]
+        t: RTree[int] = RTree(max_entries=6)
+        for i, p in enumerate(pts):
+            t.insert_point(p, i)
+        box = BBox.around(Point(*center), half)
+        assert set(t.search_bbox(box)) == _brute_range(pts, box)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1000), st.floats(0, 1000)),
+            min_size=1,
+            max_size=80,
+        ),
+        st.tuples(st.floats(0, 1000), st.floats(0, 1000)),
+        st.integers(1, 10),
+    )
+    def test_knn_differential_vs_brute(self, raw, q, k):
+        pts = [Point(x, y) for x, y in raw]
+        t = RTree.bulk_load(
+            ((BBox.from_point(p), i) for i, p in enumerate(pts)), max_entries=6
+        )
+        query = Point(*q)
+        got = [d for d, __ in t.nearest(query, k)]
+        expected = sorted(p.distance_to(query) for p in pts)[:k]
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestRemoval:
+    def test_remove_missing_returns_false(self):
+        t: RTree[int] = RTree()
+        t.insert_point(Point(1, 1), 1)
+        assert not t.remove_point(Point(2, 2), 2)
+        assert not t.remove_point(Point(1, 1), 99)  # right box, wrong item
+        assert len(t) == 1
+
+    def test_remove_to_empty(self):
+        t: RTree[int] = RTree()
+        t.insert_point(Point(1, 1), 1)
+        assert t.remove_point(Point(1, 1), 1)
+        assert len(t) == 0
+        assert t.search_bbox(BBox(0, 0, 10, 10)) == []
+        t.insert_point(Point(3, 3), 3)  # reusable after emptying
+        assert len(t) == 1
+
+    def test_remove_half_preserves_queries(self):
+        pts = _random_points(300, seed=21)
+        t: RTree[int] = RTree(max_entries=6)
+        for i, p in enumerate(pts):
+            t.insert_point(p, i)
+        for i in range(0, 300, 2):
+            assert t.remove_point(pts[i], i)
+        t.check_invariants()
+        survivors = {i for i in range(300) if i % 2 == 1}
+        box = BBox(100, 100, 800, 800)
+        expected = {i for i in survivors if box.contains_point(pts[i])}
+        assert set(t.search_bbox(box)) == expected
+
+    def test_remove_then_knn_exact(self):
+        pts = _random_points(120, seed=22)
+        t: RTree[int] = RTree(max_entries=5)
+        for i, p in enumerate(pts):
+            t.insert_point(p, i)
+        removed = set(range(0, 120, 3))
+        for i in removed:
+            t.remove_point(pts[i], i)
+        q = Point(500, 500)
+        got = [item for __, item in t.nearest(q, 7)]
+        expected = sorted(
+            (i for i in range(120) if i not in removed),
+            key=lambda i: pts[i].distance_to(q),
+        )[:7]
+        assert got == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 1000), st.floats(0, 1000)),
+            min_size=4,
+            max_size=60,
+            unique=True,
+        ),
+        st.data(),
+    )
+    def test_random_insert_remove_invariants(self, raw, data):
+        pts = [Point(x, y) for x, y in raw]
+        t: RTree[int] = RTree(max_entries=4)
+        for i, p in enumerate(pts):
+            t.insert_point(p, i)
+        n_remove = data.draw(st.integers(0, len(pts)))
+        order = data.draw(st.permutations(range(len(pts))))
+        removed = set(order[:n_remove])
+        for i in order[:n_remove]:
+            assert t.remove_point(pts[i], i)
+        t.check_invariants()
+        assert len(t) == len(pts) - n_remove
+        got = sorted(item for __, item in t.items())
+        assert got == sorted(set(range(len(pts))) - removed)

@@ -1,0 +1,69 @@
+"""Scale soak test: the pipeline on a larger world.
+
+Not a micro-benchmark — a bounded end-to-end run on a 900-node city with a
+400-trip archive, asserting the system stays correct and tractable as the
+world grows (the paper's Beijing setting is ~100x this; pure Python scales
+linearly in the same places).
+"""
+
+import time
+
+import pytest
+
+from repro.core.system import HRIS, HRISConfig
+from repro.datasets.synthetic import ScenarioConfig, build_scenario
+from repro.eval.metrics import route_accuracy
+from repro.roadnet.generators import GridCityConfig
+from repro.trajectory.resample import downsample
+
+
+@pytest.fixture(scope="module")
+def big_world():
+    t0 = time.perf_counter()
+    scenario = build_scenario(
+        ScenarioConfig(
+            grid=GridCityConfig(nx=30, ny=30),
+            n_od_pairs=12,
+            min_od_distance=8_000.0,
+            n_archive_trips=400,
+            n_background_trips=40,
+            n_queries=4,
+            seed=77,
+        )
+    )
+    build_time = time.perf_counter() - t0
+    return scenario, build_time
+
+
+class TestScale:
+    def test_generation_tractable(self, big_world):
+        scenario, build_time = big_world
+        assert scenario.network.num_nodes == 900
+        assert scenario.archive.num_points > 3_000
+        assert build_time < 30.0
+
+    def test_inference_tractable_and_accurate(self, big_world):
+        scenario, __ = big_world
+        hris = HRIS(scenario.network, scenario.archive, HRISConfig())
+        accs = []
+        t0 = time.perf_counter()
+        for case in scenario.queries:
+            query = downsample(case.query, 300.0)
+            routes = hris.infer_routes(query, 3)
+            accs.append(
+                route_accuracy(scenario.network, case.truth, routes[0].route)
+            )
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 60.0, f"4 inferences took {elapsed:.1f}s"
+        assert sum(accs) / len(accs) > 0.6
+
+    def test_archive_index_scales(self, big_world):
+        scenario, __ = big_world
+        from repro.geo.point import Point
+
+        t0 = time.perf_counter()
+        center = scenario.network.bbox().center
+        for __i in range(200):
+            scenario.archive.points_near(center, 500.0)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 5.0, f"200 range queries took {elapsed:.1f}s"

@@ -1,0 +1,100 @@
+"""Tests for the harness scenario builders and the paper's observations.
+
+The synthetic data generator must exhibit, by construction, the two
+observations that motivate the paper (Sec. I-A) — otherwise the
+reproduction would be testing HRIS on data where its premise fails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import density_family, sparse_scenario, standard_scenario
+
+
+class TestStandardScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return standard_scenario(seed=99, n_queries=4)
+
+    def test_shape(self, scenario):
+        assert scenario.network.num_nodes == 14 * 14
+        assert len(scenario.queries) == 4
+        assert len(scenario.archive) > 200
+
+    def test_observation1_skewed_travel_patterns(self, scenario):
+        """Observation 1: travel patterns between locations are highly
+        skewed — the top route of every OD carries most of the demand."""
+        for probs in scenario.route_probabilities:
+            assert probs[0] == max(probs)
+            if len(probs) > 1:
+                assert probs[0] > 1.5 * probs[1]
+
+    def test_observation2_interleaving_samples(self, scenario):
+        """Observation 2: trajectories on the same route complement each
+        other — their samples interleave along the corridor rather than
+        clustering at the same spots."""
+        # Find two archive trips on the same (most popular) route of the
+        # first OD: drives started at random times, so their samples are
+        # phase-shifted along the road.
+        top_route = scenario.od_routes[0][0]
+        corridor = top_route.points(scenario.network)
+        from repro.geo.polyline import project_point_to_polyline
+
+        offsets_by_trip = {}
+        for trip in scenario.archive.trajectories():
+            offsets = []
+            for p in trip.points:
+                proj = project_point_to_polyline(p.point, corridor)
+                if proj.distance < 60.0:
+                    offsets.append(proj.offset)
+            if len(offsets) >= 3:
+                offsets_by_trip[trip.traj_id] = sorted(offsets)
+        assert len(offsets_by_trip) >= 2, "no two trips share the corridor"
+        trips = list(offsets_by_trip.values())[:2]
+        # Interleaving: merging the two offset lists must alternate owners
+        # at least once (i.e. neither trip's samples are a contiguous block).
+        merged = sorted(
+            [(o, 0) for o in trips[0]] + [(o, 1) for o in trips[1]]
+        )
+        owners = [owner for __, owner in merged]
+        switches = sum(1 for a, b in zip(owners, owners[1:]) if a != b)
+        assert switches >= 2
+
+    def test_archive_mixes_quality(self, scenario):
+        """The data-quality condition of Sec. I-B: high- and low-rate
+        history co-exist."""
+        intervals = [
+            t.mean_sampling_interval for t in scenario.archive.trajectories()
+        ]
+        assert min(intervals) < 120.0 < max(intervals)
+
+
+class TestSparseScenario:
+    def test_sparser_than_standard(self):
+        sparse = sparse_scenario(seed=5, n_queries=2)
+        standard = standard_scenario(seed=5, n_queries=2)
+        sparse_density = sparse.archive.num_points / max(
+            sparse.network.bbox().area, 1
+        )
+        standard_density = standard.archive.num_points / max(
+            standard.network.bbox().area, 1
+        )
+        assert sparse_density < standard_density
+
+
+class TestDensityFamily:
+    def test_shared_world_varied_archive(self):
+        family = density_family([10, 40], seed=31, n_queries=3)
+        small, large = family[10], family[40]
+        # Same network object and identical queries...
+        assert small.network is large.network
+        assert [c.truth.segment_ids for c in small.queries] == [
+            c.truth.segment_ids for c in large.queries
+        ]
+        # ...but differently sized archives, subsampled from one pool.
+        assert len(small.archive) < len(large.archive)
+        large_keys = {
+            tuple(p.t for p in t.points) for t in large.archive.trajectories()
+        }
+        for trip in small.archive.trajectories():
+            assert tuple(p.t for p in trip.points) in large_keys

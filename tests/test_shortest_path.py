@@ -1,0 +1,169 @@
+"""Unit and property tests for repro.roadnet.shortest_path."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.roadnet.generators import GridCityConfig, grid_city, manhattan_line
+from repro.roadnet.shortest_path import (
+    DistanceOracle,
+    astar,
+    dijkstra,
+    dijkstra_all,
+    node_path_to_route,
+    shortest_route_between_nodes,
+    shortest_route_between_segments,
+)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(GridCityConfig(nx=8, ny=8, drop_fraction=0.1), np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def line():
+    return manhattan_line(n_nodes=6, spacing=100.0)
+
+
+class TestDijkstra:
+    def test_source_equals_target(self, line):
+        assert dijkstra(line, 2, 2) == (0.0, [2])
+
+    def test_simple_chain(self, line):
+        d, path = dijkstra(line, 0, 5)
+        assert d == 500.0
+        assert path == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable(self):
+        net = manhattan_line(3)
+        # Add an isolated node.
+        from repro.geo.point import Point
+        from repro.roadnet.network import RoadNode
+
+        net.add_node(RoadNode(99, Point(0, 999)))
+        d, path = dijkstra(net, 0, 99)
+        assert math.isinf(d)
+        assert path == []
+
+    def test_max_distance_cutoff(self, line):
+        d, path = dijkstra(line, 0, 5, max_distance=200.0)
+        assert math.isinf(d)
+
+    def test_dijkstra_all_contains_source(self, line):
+        table = dijkstra_all(line, 0)
+        assert table[0] == 0.0
+        assert table[5] == 500.0
+
+    def test_dijkstra_all_bounded(self, line):
+        table = dijkstra_all(line, 0, max_distance=250.0)
+        assert 5 not in table
+        assert table[2] == 200.0
+
+
+class TestAStar:
+    def test_matches_dijkstra_distances(self, city):
+        rng = np.random.default_rng(9)
+        nodes = [n.node_id for n in city.nodes()]
+        for __ in range(25):
+            a, b = rng.choice(nodes, size=2, replace=False)
+            d1, __p = dijkstra(city, int(a), int(b))
+            d2, __p = astar(city, int(a), int(b))
+            assert math.isclose(d1, d2, rel_tol=1e-9, abs_tol=1e-6)
+
+    def test_path_length_consistent(self, city):
+        d, path = astar(city, 0, 63)
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            seg_len = min(
+                city.segment(s).length
+                for s in city.out_segments(u)
+                if city.segment(s).end == v
+            )
+            total += seg_len
+        assert math.isclose(total, d, rel_tol=1e-9)
+
+
+class TestRouteConversion:
+    def test_node_path_to_route(self, line):
+        r = node_path_to_route(line, [0, 1, 2])
+        assert r.is_connected(line)
+        assert r.start_node(line) == 0
+        assert r.end_node(line) == 2
+
+    def test_non_adjacent_raises(self, line):
+        with pytest.raises(ValueError):
+            node_path_to_route(line, [0, 2])
+
+    def test_shortest_route_between_nodes(self, city):
+        d, route = shortest_route_between_nodes(city, 0, 63)
+        assert route.is_connected(city)
+        assert math.isclose(route.length(city), d, rel_tol=1e-9)
+
+    def test_shortest_route_between_segments_same(self, line):
+        gap, route = shortest_route_between_segments(line, 0, 0)
+        assert gap == 0.0
+        assert route.segment_ids == (0,)
+
+    def test_shortest_route_between_segments_adjacent(self, line):
+        gap, route = shortest_route_between_segments(line, 0, 2)
+        assert gap == 0.0
+        assert route.segment_ids == (0, 2)
+
+    def test_shortest_route_between_segments_far(self, line):
+        gap, route = shortest_route_between_segments(line, 0, 6)
+        assert gap == 200.0
+        assert route.first == 0
+        assert route.last == 6
+        assert route.is_connected(line)
+
+    def test_route_reverse_needs_detour(self, line):
+        # Going from eastbound segment 0 to westbound segment 1 requires
+        # driving to the end of 0 and coming back.
+        gap, route = shortest_route_between_segments(line, 0, 1)
+        assert route.is_connected(line)
+        assert route.first == 0
+        assert route.last == 1
+
+
+class TestDistanceOracle:
+    def test_cached_equals_direct(self, city):
+        oracle = DistanceOracle(city)
+        rng = np.random.default_rng(4)
+        nodes = [n.node_id for n in city.nodes()]
+        for __ in range(15):
+            a, b = rng.choice(nodes, size=2, replace=False)
+            expected, __p = dijkstra(city, int(a), int(b))
+            assert math.isclose(oracle.distance(int(a), int(b)), expected, rel_tol=1e-9)
+            # Second call hits the cache and must agree.
+            assert math.isclose(oracle.distance(int(a), int(b)), expected, rel_tol=1e-9)
+
+    def test_bounded_oracle_returns_inf(self, line):
+        oracle = DistanceOracle(line, max_distance=150.0)
+        assert math.isinf(oracle.distance(0, 5))
+
+    def test_projection_distance_same_segment_forward(self, line):
+        oracle = DistanceOracle(line)
+        d = oracle.route_distance_between_projections(0, 10.0, 0, 60.0)
+        assert d == 50.0
+
+    def test_projection_distance_same_segment_backward(self, line):
+        # Going backwards on a directed segment requires a detour (here via
+        # the reverse twin): tail + via + offset.
+        oracle = DistanceOracle(line)
+        d = oracle.route_distance_between_projections(0, 60.0, 0, 10.0)
+        assert d > 0.0
+        assert not math.isinf(d)
+
+    def test_projection_distance_between_segments(self, line):
+        oracle = DistanceOracle(line)
+        # Segment 0 is node0->node1, segment 2 is node1->node2.
+        d = oracle.route_distance_between_projections(0, 50.0, 2, 25.0)
+        assert d == 75.0
+
+    def test_clear(self, city):
+        oracle = DistanceOracle(city)
+        oracle.distance(0, 1)
+        oracle.clear()
+        assert oracle.distance(0, 1) >= 0.0

@@ -1,0 +1,111 @@
+"""Unit tests for the vehicle simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.roadnet.generators import GridCityConfig, grid_city, manhattan_line
+from repro.roadnet.route import Route
+from repro.roadnet.shortest_path import shortest_route_between_nodes
+from repro.trajectory.simulate import DriveConfig, drive_route
+
+
+@pytest.fixture(scope="module")
+def line():
+    return manhattan_line(n_nodes=10, spacing=200.0)
+
+
+@pytest.fixture(scope="module")
+def straight_route(line):
+    __, route = shortest_route_between_nodes(line, 0, 9)
+    return route
+
+
+class TestDriveConfig:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            DriveConfig(sample_interval_s=0)
+
+    def test_invalid_speed_factor(self):
+        with pytest.raises(ValueError):
+            DriveConfig(speed_factor=2.0)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            DriveConfig(speed_noise=-0.1)
+        with pytest.raises(ValueError):
+            DriveConfig(gps_sigma_m=-1.0)
+
+
+class TestDriveRoute:
+    def test_empty_route_raises(self, line):
+        with pytest.raises(ValueError):
+            drive_route(line, Route.empty(), 1)
+
+    def test_disconnected_route_raises(self, line):
+        with pytest.raises(ValueError):
+            drive_route(line, Route.of([0, 6]), 1)
+
+    def test_endpoints_near_route_ends(self, line, straight_route):
+        cfg = DriveConfig(sample_interval_s=10.0, gps_sigma_m=0.0)
+        d = drive_route(line, straight_route, 1, config=cfg, rng=np.random.default_rng(1))
+        t = d.trajectory
+        assert t[0].point.distance_to(straight_route.start_point(line)) < 1e-6
+        assert t[len(t) - 1].point.distance_to(straight_route.end_point(line)) < 1e-6
+
+    def test_sampling_interval_respected(self, line, straight_route):
+        cfg = DriveConfig(sample_interval_s=10.0, gps_sigma_m=0.0)
+        d = drive_route(line, straight_route, 1, config=cfg, rng=np.random.default_rng(2))
+        gaps = [
+            b.t - a.t for a, b in zip(d.trajectory.points, d.trajectory.points[1:-1])
+        ]
+        assert all(math.isclose(g, 10.0, rel_tol=1e-9) for g in gaps)
+
+    def test_duration_consistent_with_speed(self, line, straight_route):
+        cfg = DriveConfig(
+            sample_interval_s=5.0, speed_factor=0.8, speed_noise=0.0, gps_sigma_m=0.0
+        )
+        d = drive_route(line, straight_route, 1, config=cfg, rng=np.random.default_rng(3))
+        length = straight_route.length(line)
+        speed = line.max_speed * 0.8
+        assert math.isclose(d.trajectory.duration, length / speed, rel_tol=0.02)
+
+    def test_clean_samples_lie_on_route(self, line, straight_route):
+        cfg = DriveConfig(sample_interval_s=7.0, gps_sigma_m=0.0)
+        d = drive_route(line, straight_route, 1, config=cfg, rng=np.random.default_rng(4))
+        for p in d.trajectory.points:
+            # The straight route runs along y = 0.
+            assert abs(p.point.y) < 1e-6
+
+    def test_noise_applied(self, line, straight_route):
+        cfg = DriveConfig(sample_interval_s=7.0, gps_sigma_m=20.0)
+        d = drive_route(line, straight_route, 1, config=cfg, rng=np.random.default_rng(5))
+        assert any(abs(p.point.y) > 1.0 for p in d.trajectory.points)
+
+    def test_start_time_honored(self, line, straight_route):
+        d = drive_route(
+            line, straight_route, 1, start_time=1000.0, rng=np.random.default_rng(6)
+        )
+        assert d.trajectory.start_time == 1000.0
+
+    def test_traj_id_assigned(self, line, straight_route):
+        d = drive_route(line, straight_route, 42, rng=np.random.default_rng(7))
+        assert d.trajectory.traj_id == 42
+
+    def test_deterministic(self, line, straight_route):
+        a = drive_route(line, straight_route, 1, rng=np.random.default_rng(8))
+        b = drive_route(line, straight_route, 1, rng=np.random.default_rng(8))
+        assert [p.point for p in a.trajectory.points] == [
+            p.point for p in b.trajectory.points
+        ]
+
+    def test_ground_truth_is_input_route(self, line, straight_route):
+        d = drive_route(line, straight_route, 1, rng=np.random.default_rng(9))
+        assert d.route is straight_route
+
+    def test_city_drive(self):
+        net = grid_city(GridCityConfig(nx=6, ny=6), np.random.default_rng(10))
+        __, route = shortest_route_between_nodes(net, 0, 35)
+        d = drive_route(net, route, 1, rng=np.random.default_rng(11))
+        assert len(d.trajectory) > 3

@@ -1,0 +1,107 @@
+"""Unit tests for stay-point detection and trip partitioning."""
+
+import pytest
+
+from repro.geo.point import Point
+from repro.trajectory.model import GPSPoint, Trajectory
+from repro.trajectory.staypoint import detect_stay_points, partition_trips
+
+
+def make_traj(segments):
+    """Build a trajectory from (x, y, t) triples."""
+    return Trajectory.build(1, [GPSPoint(Point(x, y), t) for x, y, t in segments])
+
+
+def moving_then_stay_then_moving():
+    pts = []
+    t = 0.0
+    # Drive east at 10 m/s for 5 samples.
+    for i in range(5):
+        pts.append((i * 300.0, 0.0, t))
+        t += 30.0
+    # Park for 30 minutes (samples every 5 min within 20 m).
+    for i in range(7):
+        pts.append((1500.0 + (i % 2) * 10.0, 5.0, t))
+        t += 300.0
+    # Drive on.
+    for i in range(5):
+        pts.append((1600.0 + i * 300.0, 0.0, t))
+        t += 30.0
+    return make_traj(pts)
+
+
+class TestDetectStayPoints:
+    def test_invalid_thresholds(self):
+        t = make_traj([(0, 0, 0.0), (1, 0, 1.0)])
+        with pytest.raises(ValueError):
+            detect_stay_points(t, distance_threshold=0)
+        with pytest.raises(ValueError):
+            detect_stay_points(t, time_threshold=0)
+
+    def test_no_stays_while_driving(self):
+        pts = [(i * 400.0, 0.0, i * 30.0) for i in range(20)]
+        assert detect_stay_points(make_traj(pts)) == []
+
+    def test_detects_parking(self):
+        stays = detect_stay_points(moving_then_stay_then_moving())
+        assert len(stays) == 1
+        s = stays[0]
+        assert s.duration >= 20 * 60.0
+        assert 1490 <= s.center.x <= 1520
+
+    def test_stay_indices_cover_cluster(self):
+        stays = detect_stay_points(moving_then_stay_then_moving())
+        s = stays[0]
+        # The 7 parked samples plus the arrival and departure samples that
+        # fall within the 200 m anchor radius.
+        assert s.end_index - s.start_index + 1 == 8
+
+    def test_stay_at_end_of_log(self):
+        pts = [(i * 400.0, 0.0, i * 30.0) for i in range(5)]
+        t0 = pts[-1][2]
+        pts += [(2000.0, 0.0, t0 + 300.0 * (i + 1)) for i in range(8)]
+        stays = detect_stay_points(make_traj(pts))
+        assert len(stays) == 1
+
+    def test_brief_stop_not_a_stay(self):
+        pts = [(i * 400.0, 0.0, i * 30.0) for i in range(5)]
+        # Stop for only 5 minutes.
+        t0 = pts[-1][2]
+        pts += [(2000.0, 0.0, t0 + 60.0 * (i + 1)) for i in range(5)]
+        t1 = pts[-1][2]
+        pts += [(2000.0 + (i + 1) * 400.0, 0.0, t1 + 30.0 * (i + 1)) for i in range(5)]
+        assert detect_stay_points(make_traj(pts)) == []
+
+
+class TestPartitionTrips:
+    def test_splits_at_stay(self):
+        trips = partition_trips(moving_then_stay_then_moving())
+        assert len(trips) == 2
+        assert all(len(t) >= 2 for t in trips)
+        # First trip is the eastbound drive, second the continuation.
+        assert trips[0][0].x == 0.0
+        assert trips[1][0].x >= 1500.0
+
+    def test_splits_at_recording_gap(self):
+        pts = [(i * 400.0, 0.0, i * 30.0) for i in range(5)]
+        t0 = pts[-1][2]
+        # Recording resumes two hours later somewhere else.
+        pts += [(9000.0 + i * 400.0, 0.0, t0 + 7200.0 + i * 30.0) for i in range(5)]
+        trips = partition_trips(make_traj(pts), max_gap_s=30 * 60.0)
+        assert len(trips) == 2
+
+    def test_min_points_filter(self):
+        pts = [(0.0, 0.0, 0.0), (400.0, 0.0, 30.0)]
+        trips = partition_trips(make_traj(pts), min_points=3)
+        assert trips == []
+
+    def test_continuous_drive_is_one_trip(self):
+        pts = [(i * 400.0, 0.0, i * 30.0) for i in range(30)]
+        trips = partition_trips(make_traj(pts))
+        assert len(trips) == 1
+        assert len(trips[0]) == 30
+
+    def test_trip_timestamps_monotone(self):
+        for trip in partition_trips(moving_then_stay_then_moving()):
+            times = [p.t for p in trip.points]
+            assert times == sorted(times)

@@ -1,0 +1,100 @@
+"""Unit tests for the SVG map renderer."""
+
+import numpy as np
+import pytest
+
+from repro.eval.svg import PALETTE, SVGMap
+from repro.geo.point import Point
+from repro.roadnet.generators import GridCityConfig, grid_city, manhattan_line
+from repro.roadnet.route import Route
+from repro.trajectory.model import GPSPoint, Trajectory
+
+
+@pytest.fixture(scope="module")
+def line():
+    return manhattan_line(n_nodes=5, spacing=100.0)
+
+
+def small_trajectory():
+    return Trajectory.build(
+        1,
+        [GPSPoint(Point(i * 50.0, 10.0), float(i * 30)) for i in range(5)],
+    )
+
+
+class TestConstruction:
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError):
+            SVGMap(width_px=30, padding_px=20)
+
+    def test_empty_render_raises(self):
+        with pytest.raises(ValueError, match="nothing to render"):
+            SVGMap().render()
+
+    def test_route_without_network_raises(self):
+        with pytest.raises(ValueError, match="requires a network"):
+            SVGMap().add_route(Route.of([0]))
+
+
+class TestRendering:
+    def test_network_base_layer(self, line):
+        doc = SVGMap(line).render()
+        assert doc.startswith("<svg")
+        assert doc.endswith("</svg>")
+        assert doc.count("<polyline") >= line.num_segments
+
+    def test_route_layer_and_legend(self, line):
+        svg = SVGMap(line)
+        svg.add_route(Route.of([0, 2, 4]), color="#ff0000", label="truth")
+        doc = svg.render()
+        assert "#ff0000" in doc
+        assert ">truth</text>" in doc
+
+    def test_trajectory_dots(self, line):
+        svg = SVGMap(line)
+        svg.add_trajectory(small_trajectory(), label="query")
+        doc = svg.render()
+        assert doc.count("<circle") == 5
+        assert "stroke-dasharray" in doc
+
+    def test_points_layer(self, line):
+        svg = SVGMap(line)
+        svg.add_points([Point(10, 10), Point(20, 20)], label="refs")
+        assert svg.render().count("<circle") == 2
+
+    def test_label_escaping(self, line):
+        svg = SVGMap(line)
+        svg.add_points([Point(0, 0)], label="<b>&")
+        doc = svg.render()
+        assert "&lt;b&gt;&amp;" in doc
+        assert "<b>&" not in doc.replace("&lt;b&gt;&amp;", "")
+
+    def test_y_axis_flipped(self, line):
+        # The northernmost point must have the SMALLEST pixel y.
+        svg = SVGMap(width_px=200, padding_px=10)
+        svg.add_points([Point(0, 0)])
+        svg.add_points([Point(0, 100)])
+        doc = svg.render()
+        import re
+
+        ys = [float(m) for m in re.findall(r'cy="([0-9.]+)"', doc)]
+        assert ys[1] < ys[0]
+
+    def test_save(self, line, tmp_path):
+        svg = SVGMap(line)
+        svg.add_route(Route.of([0]), label="r")
+        path = svg.save(tmp_path / "map.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_city_scale_render(self):
+        net = grid_city(GridCityConfig(nx=6, ny=6), np.random.default_rng(1))
+        doc = SVGMap(net).render()
+        # Well-formed XML.
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(doc)
+
+    def test_palette_exported(self):
+        assert len(PALETTE) >= 4
+        assert all(c.startswith("#") for c in PALETTE)

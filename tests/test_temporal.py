@@ -1,0 +1,112 @@
+"""Unit tests for the time-of-day reference filter (future-work extension)."""
+
+import pytest
+
+from repro.core.archive import TrajectoryArchive
+from repro.core.reference import (
+    ReferenceSearch,
+    ReferenceSearchConfig,
+    time_of_day_difference_s,
+)
+from repro.geo.point import Point
+from repro.roadnet.generators import manhattan_line
+from repro.trajectory.model import GPSPoint, Trajectory
+
+
+HOUR = 3_600.0
+DAY = 86_400.0
+
+
+class TestTimeOfDayDifference:
+    def test_same_time(self):
+        assert time_of_day_difference_s(100.0, 100.0) == 0.0
+
+    def test_plain_difference(self):
+        assert time_of_day_difference_s(9 * HOUR, 11 * HOUR) == 2 * HOUR
+
+    def test_wraps_midnight(self):
+        # 23:50 vs 00:10 is 20 minutes, not 23:40.
+        assert time_of_day_difference_s(23 * HOUR + 50 * 60, 10 * 60) == 20 * 60
+
+    def test_different_days_same_time(self):
+        assert time_of_day_difference_s(9 * HOUR, 9 * HOUR + 3 * DAY) == 0.0
+
+    def test_symmetric(self):
+        assert time_of_day_difference_s(5 * HOUR, 20 * HOUR) == (
+            time_of_day_difference_s(20 * HOUR, 5 * HOUR)
+        )
+
+    def test_max_is_half_day(self):
+        assert time_of_day_difference_s(0.0, 12 * HOUR) == 12 * HOUR
+
+
+def corridor_traj(tid, start_time):
+    pts = [
+        GPSPoint(Point(i * 100.0, 10.0), start_time + i * 20.0) for i in range(15)
+    ]
+    return Trajectory.build(tid, pts)
+
+
+class TestTemporalFilter:
+    @pytest.fixture()
+    def line(self):
+        return manhattan_line(n_nodes=10, spacing=200.0)
+
+    @pytest.fixture()
+    def archive(self):
+        # One morning trip (09:00) and one night trip (23:00) on the same
+        # corridor.
+        return TrajectoryArchive.from_trips(
+            [corridor_traj(0, 9 * HOUR), corridor_traj(1, 23 * HOUR)]
+        )
+
+    def query_pair(self, t0):
+        return (
+            GPSPoint(Point(0.0, 0.0), t0),
+            GPSPoint(Point(1000.0, 0.0), t0 + 600.0),
+        )
+
+    def test_disabled_filter_keeps_all(self, line, archive):
+        search = ReferenceSearch(
+            archive, line, ReferenceSearchConfig(phi=300.0)
+        )
+        refs = search.search(*self.query_pair(9 * HOUR))
+        assert len(refs) == 2
+
+    def test_morning_query_keeps_morning_history(self, line, archive):
+        search = ReferenceSearch(
+            archive,
+            line,
+            ReferenceSearchConfig(phi=300.0, time_of_day_window_s=2 * HOUR),
+        )
+        refs = search.search(*self.query_pair(9 * HOUR))
+        assert len(refs) == 1
+        assert refs[0].source_ids == (0,)
+
+    def test_night_query_keeps_night_history(self, line, archive):
+        search = ReferenceSearch(
+            archive,
+            line,
+            ReferenceSearchConfig(phi=300.0, time_of_day_window_s=2 * HOUR),
+        )
+        refs = search.search(*self.query_pair(23 * HOUR))
+        assert len(refs) == 1
+        assert refs[0].source_ids == (1,)
+
+    def test_window_wraps_midnight(self, line, archive):
+        # A 00:30 query must still see the 23:00 trip with a 2 h window.
+        search = ReferenceSearch(
+            archive,
+            line,
+            ReferenceSearchConfig(phi=300.0, time_of_day_window_s=2 * HOUR),
+        )
+        refs = search.search(*self.query_pair(DAY + 0.5 * HOUR))
+        assert len(refs) == 1
+        assert refs[0].source_ids == (1,)
+
+    def test_hris_config_passthrough(self):
+        from repro.core.system import HRISConfig
+
+        cfg = HRISConfig(time_of_day_window_s=3 * HOUR)
+        assert cfg.reference_config().time_of_day_window_s == 3 * HOUR
+        assert HRISConfig().reference_config().time_of_day_window_s is None

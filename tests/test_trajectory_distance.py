@@ -1,0 +1,132 @@
+"""Unit and property tests for trajectory similarity measures."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.point import Point
+from repro.trajectory.distance import (
+    dtw_distance,
+    edr_distance,
+    hausdorff_distance,
+    lcss_similarity,
+)
+from repro.trajectory.model import GPSPoint, Trajectory
+
+coords = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(st.builds(Point, coords, coords), min_size=1, max_size=12)
+
+
+def as_traj(points, tid=1):
+    return Trajectory.build(
+        tid, [GPSPoint(p, float(i)) for i, p in enumerate(points)]
+    )
+
+
+LINE_A = [Point(0, 0), Point(10, 0), Point(20, 0)]
+LINE_B = [Point(0, 5), Point(10, 5), Point(20, 5)]
+
+
+class TestDTW:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dtw_distance([], LINE_A)
+
+    def test_identical_is_zero(self):
+        assert dtw_distance(LINE_A, LINE_A) == 0.0
+
+    def test_parallel_lines(self):
+        assert dtw_distance(LINE_A, LINE_B) == 15.0
+
+    def test_accepts_trajectories(self):
+        assert dtw_distance(as_traj(LINE_A), as_traj(LINE_A)) == 0.0
+
+    def test_time_shift_tolerated(self):
+        # The same path sampled at different densities stays close in DTW.
+        dense = [Point(float(i), 0.0) for i in range(0, 21, 1)]
+        sparse = [Point(float(i), 0.0) for i in range(0, 21, 5)]
+        assert dtw_distance(dense, sparse) <= 30.0
+
+    @given(point_lists, point_lists)
+    @settings(max_examples=30)
+    def test_nonnegative_and_symmetric(self, a, b):
+        d1 = dtw_distance(a, b)
+        d2 = dtw_distance(b, a)
+        assert d1 >= 0.0
+        assert math.isclose(d1, d2, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestLCSS:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            lcss_similarity(LINE_A, LINE_B, 0.0)
+
+    def test_identical_full_match(self):
+        assert lcss_similarity(LINE_A, LINE_A, 1.0) == 1.0
+
+    def test_disjoint_no_match(self):
+        far = [Point(1e5, 1e5)]
+        assert lcss_similarity(LINE_A, far, 1.0) == 0.0
+
+    def test_parallel_lines_with_generous_epsilon(self):
+        assert lcss_similarity(LINE_A, LINE_B, 6.0) == 1.0
+
+    def test_outlier_robustness(self):
+        noisy = LINE_A[:1] + [Point(9999, 9999)] + LINE_A[1:]
+        assert lcss_similarity(LINE_A, noisy, 1.0) == 1.0
+
+    @given(point_lists, point_lists, st.floats(0.1, 100))
+    @settings(max_examples=30)
+    def test_range_and_symmetry(self, a, b, eps):
+        s = lcss_similarity(a, b, eps)
+        assert 0.0 <= s <= 1.0
+        assert math.isclose(s, lcss_similarity(b, a, eps), abs_tol=1e-12)
+
+
+class TestEDR:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            edr_distance(LINE_A, LINE_B, -1.0)
+
+    def test_identical_is_zero(self):
+        assert edr_distance(LINE_A, LINE_A, 1.0) == 0
+
+    def test_single_substitution(self):
+        other = [Point(0, 0), Point(500, 500), Point(20, 0)]
+        assert edr_distance(LINE_A, other, 1.0) == 1
+
+    def test_length_difference_costs_insertions(self):
+        assert edr_distance(LINE_A, LINE_A[:1], 1.0) == 2
+
+    @given(point_lists, point_lists, st.floats(0.1, 100))
+    @settings(max_examples=30)
+    def test_bounds(self, a, b, eps):
+        d = edr_distance(a, b, eps)
+        assert 0 <= d <= max(len(a), len(b))
+        assert d == edr_distance(b, a, eps)
+
+
+class TestHausdorff:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hausdorff_distance([], LINE_A)
+
+    def test_identical_is_zero(self):
+        assert hausdorff_distance(LINE_A, LINE_A) == 0.0
+
+    def test_parallel_lines(self):
+        assert hausdorff_distance(LINE_A, LINE_B) == 5.0
+
+    def test_subset_asymmetry_resolved(self):
+        # One extra far point dominates the symmetric distance.
+        extended = LINE_A + [Point(100, 0)]
+        assert hausdorff_distance(LINE_A, extended) == 80.0
+
+    @given(point_lists, point_lists)
+    @settings(max_examples=30)
+    def test_symmetric(self, a, b):
+        assert math.isclose(
+            hausdorff_distance(a, b), hausdorff_distance(b, a), rel_tol=1e-9
+        )

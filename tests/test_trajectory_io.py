@@ -1,0 +1,72 @@
+"""Round-trip tests for trajectory serialisation."""
+
+import json
+
+import pytest
+
+from repro.geo.point import Point
+from repro.trajectory.io import (
+    load_trajectories,
+    save_trajectories,
+    trajectory_from_dict,
+    trajectory_to_dict,
+)
+from repro.trajectory.model import GPSPoint, Trajectory
+
+
+def sample_traj(tid=7):
+    return Trajectory.build(
+        tid,
+        [
+            GPSPoint(Point(0.5, 1.25), 10.0),
+            GPSPoint(Point(100.0, -3.0), 40.0),
+            GPSPoint(Point(250.75, 8.5), 95.0),
+        ],
+    )
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self):
+        t = sample_traj()
+        restored = trajectory_from_dict(trajectory_to_dict(t))
+        assert restored.traj_id == t.traj_id
+        assert restored.points == t.points
+
+    def test_missing_keys_raise(self):
+        with pytest.raises(ValueError):
+            trajectory_from_dict({"points": []})
+        with pytest.raises(ValueError):
+            trajectory_from_dict({"id": 1})
+
+    def test_unordered_timestamps_raise(self):
+        with pytest.raises(ValueError):
+            trajectory_from_dict({"id": 1, "points": [[0, 0, 5.0], [1, 1, 3.0]]})
+
+    def test_json_serialisable(self):
+        payload = json.dumps(trajectory_to_dict(sample_traj()))
+        assert "points" in payload
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        trips = [sample_traj(1), sample_traj(2), sample_traj(3)]
+        path = tmp_path / "trips.jsonl"
+        count = save_trajectories(trips, path)
+        assert count == 3
+        loaded = load_trajectories(path)
+        assert len(loaded) == 3
+        for a, b in zip(trips, loaded):
+            assert a.traj_id == b.traj_id
+            assert a.points == b.points
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_trajectories([], path)
+        assert load_trajectories(path) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trips.jsonl"
+        save_trajectories([sample_traj()], path)
+        with open(path, "a") as f:
+            f.write("\n\n")
+        assert len(load_trajectories(path)) == 1

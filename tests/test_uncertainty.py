@@ -1,0 +1,127 @@
+"""Unit tests for the uncertainty metrics."""
+
+import math
+
+import pytest
+
+from repro.core.kgri import GlobalRoute
+from repro.eval.uncertainty import (
+    UncertaintyReport,
+    count_plausible_routes,
+    score_entropy,
+    uncertainty_report,
+)
+from repro.roadnet.generators import GridCityConfig, grid_city, manhattan_line
+from repro.roadnet.route import Route
+
+import numpy as np
+
+
+def g(log_score, segments=(0,)):
+    return GlobalRoute(
+        log_score=log_score, local_indices=(0,), route=Route.of(segments)
+    )
+
+
+class TestCountPlausible:
+    def test_invalid_args(self):
+        line = manhattan_line(3)
+        with pytest.raises(ValueError):
+            count_plausible_routes(line, 0, 2, cap=0)
+        with pytest.raises(ValueError):
+            count_plausible_routes(line, 0, 2, detour_ratio=0.5)
+
+    def test_chain_has_one_route(self):
+        line = manhattan_line(5)
+        assert count_plausible_routes(line, 0, 4) == 1
+
+    def test_unreachable_is_zero(self):
+        from repro.geo.point import Point
+        from repro.roadnet.network import RoadNode
+
+        line = manhattan_line(3)
+        line.add_node(RoadNode(99, Point(0, 9999)))
+        assert count_plausible_routes(line, 0, 99) == 0
+
+    def test_grid_explodes(self):
+        net = grid_city(
+            GridCityConfig(nx=6, ny=6, drop_fraction=0.0, jitter=0.0),
+            np.random.default_rng(1),
+        )
+        # Corner to corner on a grid: many near-shortest alternatives.
+        n = count_plausible_routes(net, 0, 35, detour_ratio=1.2, cap=60)
+        assert n >= 20
+
+    def test_detour_ratio_monotone(self):
+        net = grid_city(
+            GridCityConfig(nx=5, ny=5, drop_fraction=0.0), np.random.default_rng(2)
+        )
+        tight = count_plausible_routes(net, 0, 24, detour_ratio=1.05, cap=60)
+        loose = count_plausible_routes(net, 0, 24, detour_ratio=1.5, cap=60)
+        assert tight <= loose
+
+
+class TestScoreEntropy:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            score_entropy([])
+
+    def test_single_route_zero(self):
+        assert score_entropy([g(-5.0)]) == 0.0
+
+    def test_uniform_is_log_k(self):
+        routes = [g(2.0), g(2.0), g(2.0), g(2.0)]
+        assert math.isclose(score_entropy(routes), math.log(4), rel_tol=1e-9)
+
+    def test_dominant_route_near_zero(self):
+        routes = [g(0.0), g(-50.0), g(-50.0)]
+        assert score_entropy(routes) < 0.01
+
+    def test_shift_invariant(self):
+        a = [g(1.0), g(0.0)]
+        b = [g(101.0), g(100.0)]
+        assert math.isclose(score_entropy(a), score_entropy(b), rel_tol=1e-9)
+
+    def test_bounded_by_log_k(self):
+        routes = [g(float(-i)) for i in range(6)]
+        assert 0.0 <= score_entropy(routes) <= math.log(6) + 1e-9
+
+
+class TestReport:
+    def test_empty_routes_raise(self):
+        line = manhattan_line(3)
+        with pytest.raises(ValueError):
+            uncertainty_report(line, [])
+
+    def test_report_on_chain(self):
+        line = manhattan_line(5)
+        routes = [g(0.0, (0, 2, 4, 6))]
+        report = uncertainty_report(line, routes)
+        assert report.prior_routes == 1
+        assert report.posterior_routes == 1
+        assert report.reduction_factor == 1.0
+        assert "1 suggestions" in report.describe()
+
+    def test_reduction_on_grid(self):
+        net = grid_city(
+            GridCityConfig(nx=6, ny=6, drop_fraction=0.0, jitter=0.0),
+            np.random.default_rng(3),
+        )
+        from repro.roadnet.shortest_path import shortest_route_between_nodes
+
+        __, route = shortest_route_between_nodes(net, 0, 35)
+        routes = [
+            GlobalRoute(log_score=0.0, local_indices=(0,), route=route),
+            GlobalRoute(log_score=-1.0, local_indices=(1,), route=route),
+        ]
+        report = uncertainty_report(net, routes, detour_ratio=1.3, cap=80)
+        assert report.prior_routes > report.posterior_routes
+        assert report.reduction_factor > 3.0
+
+    def test_describe_format(self):
+        r = UncertaintyReport(
+            prior_routes=200, posterior_routes=5, posterior_entropy=0.7
+        )
+        text = r.describe()
+        assert "200+" in text
+        assert "40x reduction" in text
