@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Throughput benchmark: routing engine + batch inference vs the seed path.
+
+Measures, on the standard evaluation world:
+
+* **seed baseline** — HRIS with every engine feature off (no landmarks,
+  zero-size caches), queries inferred one at a time: the code path the
+  repository shipped with;
+* **engine sequential** — HRIS with the default :class:`EngineConfig`
+  (ALT landmarks + bounded shared caches), still one query at a time:
+  the single-query latency win;
+* **batch** — :meth:`HRIS.infer_routes_batch` over the whole query set
+  with the requested worker count (the auto policy forks only on
+  multi-core machines), plus the forced-pool time for transparency.
+
+Every configuration must produce identical top-K routes and scores; the
+benchmark verifies this and records the outcome.  Results are written as
+JSON (default: ``BENCH_throughput.json`` at the repository root; smoke
+runs write under ``benchmarks/results/`` so CI never clobbers the
+committed numbers).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.system import HRIS, HRISConfig  # noqa: E402
+from repro.eval.harness import standard_scenario  # noqa: E402
+from repro.eval.metrics import route_accuracy  # noqa: E402
+from repro.trajectory.resample import downsample  # noqa: E402
+
+SEED_BASELINE = HRISConfig(
+    n_landmarks=0,
+    route_cache_size=0,
+    candidate_cache_size=0,
+    support_cache_size=0,
+)
+
+
+def result_keys(results):
+    """Comparable identity of a batch of inferences: routes + scores."""
+    return [
+        [(tuple(g.route.segment_ids), round(g.log_score, 9)) for g in routes]
+        for routes in results
+    ]
+
+
+def time_sequential(hris, queries):
+    latencies = []
+    results = []
+    for query in queries:
+        t0 = time.perf_counter()
+        results.append(hris.infer_routes(query))
+        latencies.append(time.perf_counter() - t0)
+    return results, latencies
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=60, help="query count")
+    parser.add_argument("--workers", type=int, default=4, help="batch workers")
+    parser.add_argument(
+        "--interval", type=float, default=300.0, help="query sampling interval (s)"
+    )
+    parser.add_argument("--out", type=Path, default=None, help="output JSON path")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI; writes under benchmarks/results/",
+    )
+    args = parser.parse_args(argv)
+
+    n_queries = 8 if args.smoke else args.queries
+    out = args.out
+    if out is None:
+        out = (
+            REPO_ROOT / "benchmarks" / "results" / "BENCH_throughput_smoke.json"
+            if args.smoke
+            else REPO_ROOT / "BENCH_throughput.json"
+        )
+
+    print(f"building standard scenario (seed=7, n_queries={n_queries}) ...")
+    scenario = standard_scenario(seed=7, n_queries=n_queries)
+    cases = []
+    for case in scenario.queries:
+        query = downsample(case.query, args.interval)
+        if len(query) >= 2:
+            cases.append((query, case.truth))
+    queries = [q for q, __ in cases]
+    print(f"{len(queries)} evaluable queries at {args.interval:.0f}s interval")
+
+    # --- seed baseline: engine features off, sequential -------------------
+    h_seed = HRIS(scenario.network, scenario.archive, SEED_BASELINE)
+    res_seed, lat_seed = time_sequential(h_seed, queries)
+    t_seed = sum(lat_seed)
+    print(f"seed baseline      sequential: {t_seed:.3f}s")
+
+    # --- engine: landmarks + caches, sequential ---------------------------
+    h_engine = HRIS(scenario.network, scenario.archive, HRISConfig())
+    res_engine, lat_engine = time_sequential(h_engine, queries)
+    t_engine = sum(lat_engine)
+    engine_stats = h_engine.engine.stats().as_dict()
+    print(f"engine             sequential: {t_engine:.3f}s")
+
+    # --- batch: workers=1 then the requested worker count -----------------
+    h_b1 = HRIS(scenario.network, scenario.archive, HRISConfig())
+    t0 = time.perf_counter()
+    res_b1 = h_b1.infer_routes_batch(queries, workers=1)
+    t_b1 = time.perf_counter() - t0
+    print(f"batch workers=1              : {t_b1:.3f}s")
+
+    h_bn = HRIS(scenario.network, scenario.archive, HRISConfig())
+    t0 = time.perf_counter()
+    res_bn = h_bn.infer_routes_batch(queries, workers=args.workers)
+    t_bn = time.perf_counter() - t0
+    print(f"batch workers={args.workers} (auto policy): {t_bn:.3f}s")
+
+    h_bf = HRIS(scenario.network, scenario.archive, HRISConfig())
+    t0 = time.perf_counter()
+    res_bf = h_bf.infer_routes_batch(
+        queries, workers=args.workers, use_processes=True
+    )
+    t_forced = time.perf_counter() - t0
+    print(f"batch workers={args.workers} (forced pool): {t_forced:.3f}s")
+
+    # --- identity: every configuration must agree exactly -----------------
+    ref = result_keys(res_seed)
+    identical = {
+        "engine_vs_seed": result_keys(res_engine) == ref,
+        "batch1_vs_seed": result_keys(res_b1) == ref,
+        "batch_vs_seed": result_keys(res_bn) == ref,
+        "forced_pool_vs_seed": result_keys(res_bf) == ref,
+    }
+    print(f"identity: {identical}")
+    accuracy = sum(
+        route_accuracy(scenario.network, truth, routes[0].route)
+        for (__, truth), routes in zip(cases, res_seed)
+        if routes
+    ) / len(cases)
+
+    report = {
+        "benchmark": "bench_throughput",
+        "smoke": args.smoke,
+        "machine": {
+            "cpu_count": multiprocessing.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "workload": {
+            "scenario": "standard_scenario(seed=7)",
+            "n_queries": len(queries),
+            "interval_s": args.interval,
+            "workers": args.workers,
+            "mean_accuracy_AL": round(accuracy, 4),
+        },
+        "seed_baseline": {
+            "total_s": round(t_seed, 4),
+            "mean_latency_s": round(t_seed / len(queries), 4),
+        },
+        "engine_sequential": {
+            "total_s": round(t_engine, 4),
+            "mean_latency_s": round(t_engine / len(queries), 4),
+            "stats": engine_stats,
+        },
+        "batch": {
+            "workers_1_total_s": round(t_b1, 4),
+            f"workers_{args.workers}_total_s": round(t_bn, 4),
+            f"workers_{args.workers}_forced_pool_total_s": round(t_forced, 4),
+            "queries_per_s": round(len(queries) / t_bn, 3),
+        },
+        "speedups": {
+            "single_query_engine_vs_seed": round(t_seed / t_engine, 3),
+            "batch_vs_seed_baseline": round(t_seed / t_bn, 3),
+            "batch_vs_engine_sequential": round(t_engine / t_bn, 3),
+        },
+        "identical_results": identical,
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out}")
+    print(
+        f"single-query speedup {report['speedups']['single_query_engine_vs_seed']}x, "
+        f"batch speedup {report['speedups']['batch_vs_seed_baseline']}x vs seed"
+    )
+    return 0 if all(identical.values()) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ issue the two range queries of Sec. III-A efficiently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.geo.bbox import BBox
 from repro.geo.point import Point
@@ -139,6 +139,34 @@ class TrajectoryArchive:
         for indices in hits.values():
             indices.sort()
         return hits
+
+    def trajectories_near_pair(
+        self, qi: Point, qi1: Point, radius: float
+    ) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+        """:meth:`trajectories_near` around both points of a query pair.
+
+        The reference search needs the φ-neighbourhoods of ``q_i`` and
+        ``q_{i+1}`` together; this issues both range queries in a single
+        R-tree walk (:meth:`~repro.spatial.rtree.RTree.search_radius_many`)
+        instead of two independent traversals that re-descend the shared
+        upper levels.
+
+        Returns:
+            ``(near_i, near_j)`` — trajectory id to sorted observation
+            indices, one map per query point.
+        """
+        index = self._ensure_index()
+        hits_i, hits_j = index.search_radius_many(
+            [(qi, radius), (qi1, radius)],
+            position=lambda ref: self.point(ref).point,
+        )
+        out: Tuple[Dict[int, List[int]], Dict[int, List[int]]] = ({}, {})
+        for side, refs in zip(out, (hits_i, hits_j)):
+            for ref in refs:
+                side.setdefault(ref.traj_id, []).append(ref.index)
+            for indices in side.values():
+                indices.sort()
+        return out
 
     def density_per_km2(self, region: BBox) -> float:
         """Archive observations per km² inside ``region``."""

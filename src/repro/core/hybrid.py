@@ -71,10 +71,15 @@ class HybridConfig:
 class HybridInference:
     """Density-dispatched local route inference."""
 
-    def __init__(self, network: RoadNetwork, config: HybridConfig = HybridConfig()) -> None:
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: HybridConfig = HybridConfig(),
+        engine=None,
+    ) -> None:
         self._config = config
-        self._tgi = TraverseGraphInference(network, config.tgi)
-        self._nni = NearestNeighborInference(network, config.nni)
+        self._tgi = TraverseGraphInference(network, config.tgi, engine=engine)
+        self._nni = NearestNeighborInference(network, config.nni, engine=engine)
 
     def infer(
         self, qi: Point, qi1: Point, references: Sequence[Reference]

@@ -66,19 +66,21 @@ def _assemble(
     network: RoadNetwork,
     stages: Sequence[Sequence[LocalRoute]],
     indices: Tuple[int, ...],
+    engine=None,
 ) -> Route:
     """Concatenate the chosen local routes, bridging any gaps (the paper's
     shortest-path bridge for mismatched junction candidate edges)."""
     segments: List[int] = []
     for stage_idx, route_idx in enumerate(indices):
         segments.extend(stages[stage_idx][route_idx].route.segment_ids)
-    return stitch_route(network, segments)
+    return stitch_route(network, segments, engine=engine)
 
 
 def k_gri(
     network: RoadNetwork,
     stages: Sequence[Sequence[LocalRoute]],
     k: int,
+    engine=None,
 ) -> List[GlobalRoute]:
     """Algorithm 3: the top-``k`` global routes by dynamic programming.
 
@@ -86,6 +88,7 @@ def k_gri(
         network: Road network (for final route assembly).
         stages: ``(R_1, ..., R_n)`` — the scored local routes per pair.
         k: Number of global routes to return (the paper's k3).
+        engine: Optional routing engine for cached assembly bridges.
 
     Raises:
         ValueError: If ``k < 1`` or any stage is empty.
@@ -143,7 +146,7 @@ def k_gri(
         GlobalRoute(
             log_score=log_score,
             local_indices=indices,
-            route=_assemble(network, stages, indices),
+            route=_assemble(network, stages, indices, engine=engine),
         )
         for log_score, __, indices in final[:k]
     ]

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.reference import Reference
 from repro.geo.point import Point
 from repro.mapmatching.hmm import HMMConfig, HMMMatcher
+from repro.roadnet.cache import LRUCache
 from repro.roadnet.network import RoadNetwork
 from repro.roadnet.route import Route
 from repro.trajectory.model import GPSPoint, Trajectory
@@ -94,9 +95,15 @@ class NNIStats:
 class NearestNeighborInference:
     """Local route inference by constrained nearest-neighbor walking."""
 
-    def __init__(self, network: RoadNetwork, config: NNIConfig = NNIConfig()) -> None:
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: NNIConfig = NNIConfig(),
+        engine=None,
+    ) -> None:
         self._network = network
         self._config = config
+        self._engine = engine
         # The paper derives a route from each walk "by applying the
         # map-matching techniques"; an HMM matcher turns the densified walk
         # into a coherent route (greedy per-point snapping would zigzag).
@@ -106,6 +113,14 @@ class NearestNeighborInference:
                 radius=max(2.0 * config.candidate_radius, 100.0),
                 max_candidates=4,
             ),
+            engine=engine,
+        )
+        # Cross-query walk memo (engine mode only): reference points come
+        # from the shared archive, so distinct queries over the same
+        # corridor produce identical monotone walks — the matcher is
+        # deterministic, so replaying it is pure waste.
+        self._walk_routes: Optional["LRUCache[Tuple[Tuple[float, float], ...], Route]"] = (
+            LRUCache(4096) if engine is not None else None
         )
 
     def infer(
@@ -141,7 +156,12 @@ class NearestNeighborInference:
             if walk_key in seen_walks:
                 continue
             seen_walks.add(walk_key)
-            route = self._points_to_route(walk)
+            if self._walk_routes is not None:
+                route = self._walk_routes.get_or_compute(
+                    walk_key, lambda: self._points_to_route(walk)
+                )
+            else:
+                route = self._points_to_route(walk)
             if not route:
                 continue
             key = route.segment_ids
@@ -169,11 +189,12 @@ class NearestNeighborInference:
         dst = self._network.nearest_segments(qi1, 1)
         if not src or not dst:
             return None
-        gap, route = shortest_route_between_segments(
-            self._network,
-            src[0].segment.segment_id,
-            dst[0].segment.segment_id,
-        )
+        a = src[0].segment.segment_id
+        b = dst[0].segment.segment_id
+        if self._engine is not None:
+            gap, route = self._engine.shortest_route_between_segments(a, b)
+        else:
+            gap, route = shortest_route_between_segments(self._network, a, b)
         if math.isinf(gap):
             return None
         return route.length(self._network)

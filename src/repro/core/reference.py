@@ -19,7 +19,7 @@ on-line spatial join between the two leftover candidate sets for splices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.archive import TrajectoryArchive
 from repro.geo.point import Point
@@ -102,7 +102,10 @@ def movement_direction(points: Sequence[Point], index: int) -> Point:
 
 
 def reference_traversed_segments(
-    network: RoadNetwork, reference: "Reference", candidate_radius: float
+    network: RoadNetwork,
+    reference: "Reference",
+    candidate_radius: float,
+    candidate_lookup: Optional[Callable[[Point, float], Sequence]] = None,
 ) -> Set[int]:
     """Segments a reference plausibly travels on.
 
@@ -112,13 +115,19 @@ def reference_traversed_segments(
     point's candidate edges (Definition 5) and keeping only those whose
     direction agrees with the local movement direction (positive dot
     product); points with no discernible movement keep all candidates.
+
+    Args:
+        candidate_lookup: Optional replacement for
+            ``network.candidate_edges`` returning the identical result —
+            e.g. the routing engine's memoised lookup.
     """
+    lookup = candidate_lookup if candidate_lookup is not None else network.candidate_edges
     traversed: Set[int] = set()
     pts = reference.points
     for i, p in enumerate(pts):
         direction = movement_direction(pts, i)
         moving = direction.norm() > 0.0
-        for cand in network.candidate_edges(p, candidate_radius):
+        for cand in lookup(p, candidate_radius):
             seg = cand.segment
             if moving:
                 seg_dir = seg.polyline[-1] - seg.polyline[0]
@@ -184,8 +193,9 @@ class ReferenceSearch:
         cfg = self._config
         budget = (qi1.t - qi.t) * self._network.max_speed
 
-        near_i = self._archive.trajectories_near(qi.point, cfg.phi)
-        near_j = self._archive.trajectories_near(qi1.point, cfg.phi)
+        near_i, near_j = self._archive.trajectories_near_pair(
+            qi.point, qi1.point, cfg.phi
+        )
 
         references: List[Reference] = []
         simple_ids: Set[int] = set()

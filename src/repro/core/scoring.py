@@ -67,6 +67,7 @@ def compute_segment_support(
     network: RoadNetwork,
     references: Sequence[Reference],
     candidate_radius: float,
+    engine=None,
 ) -> Dict[int, Set[int]]:
     """``C_i(r)`` for every segment: which references travel on it.
 
@@ -75,12 +76,21 @@ def compute_segment_support(
     the "traverse edge" criterion of Definition 9, with the archive
     map-matching of the preprocessing stage approximated by a heading
     filter (see :func:`repro.core.reference.reference_traversed_segments`).
+
+    Args:
+        engine: Optional :class:`~repro.roadnet.engine.RoutingEngine` whose
+            support cache already holds the traversed-segment sets computed
+            by the traverse-graph stage for the same references.
     """
     from repro.core.reference import reference_traversed_segments
 
     support: Dict[int, Set[int]] = {}
     for ref in references:
-        for sid in reference_traversed_segments(network, ref, candidate_radius):
+        if engine is not None:
+            traversed = engine.traversed_segments(ref, candidate_radius)
+        else:
+            traversed = reference_traversed_segments(network, ref, candidate_radius)
+        for sid in traversed:
             support.setdefault(sid, set()).add(ref.ref_id)
     return support
 

@@ -20,9 +20,10 @@ map-matching case study.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.archive import TrajectoryArchive
 from repro.core.hybrid import HybridConfig, HybridInference, reference_density_per_km2
@@ -37,9 +38,9 @@ from repro.core.scoring import (
 from repro.core.traverse_graph import TGIConfig, TraverseGraphInference
 from repro.geo.point import Point
 from repro.mapmatching.base import MapMatcher, MatchResult
+from repro.roadnet.engine import EngineConfig, EngineStats, RoutingEngine
 from repro.roadnet.network import RoadNetwork
 from repro.roadnet.route import Route
-from repro.roadnet.shortest_path import shortest_route_between_segments
 from repro.trajectory.model import Trajectory
 
 __all__ = ["HRISConfig", "HRIS", "HRISMatcher", "PairDetail", "InferenceDetail"]
@@ -82,6 +83,14 @@ class HRISConfig:
             candidates must never reach it).
         time_of_day_window_s: Optional time-of-day reference filter (the
             paper's "incorporate the time" future work); None disables it.
+        n_landmarks: Landmarks of the ALT shortest-path index built at HRIS
+            construction time (0 disables ALT: A* falls back to the plain
+            euclidean heuristic).  Results are identical either way.
+        route_cache_size: Entries of the shared segment-pair route cache
+            (0 disables).
+        candidate_cache_size: Entries of the candidate-edge cache.
+        support_cache_size: Entries of the reference-support cache.
+        oracle_cache_size: Source tables held by the distance oracle.
     """
 
     phi: float = 500.0
@@ -107,10 +116,17 @@ class HRISConfig:
     include_shortest_candidate: bool = True
     max_detour_ratio: float = 1.5
     time_of_day_window_s: Optional[float] = None
+    n_landmarks: int = 8
+    route_cache_size: int = 65_536
+    candidate_cache_size: int = 65_536
+    support_cache_size: int = 16_384
+    oracle_cache_size: int = 2_048
 
     def __post_init__(self) -> None:
         if self.local_method not in ("hybrid", "tgi", "nni"):
             raise ValueError(f"unknown local_method {self.local_method!r}")
+        if self.n_landmarks < 0:
+            raise ValueError("n_landmarks must be non-negative")
 
     def tgi_config(self) -> TGIConfig:
         return TGIConfig(
@@ -144,6 +160,15 @@ class HRISConfig:
             time_of_day_window_s=self.time_of_day_window_s,
         )
 
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            n_landmarks=self.n_landmarks,
+            route_cache_size=self.route_cache_size,
+            candidate_cache_size=self.candidate_cache_size,
+            support_cache_size=self.support_cache_size,
+            oracle_sources=self.oracle_cache_size,
+        )
+
 
 @dataclass(slots=True)
 class PairDetail:
@@ -159,12 +184,18 @@ class PairDetail:
 
 @dataclass(slots=True)
 class InferenceDetail:
-    """Diagnostics for a full query inference."""
+    """Diagnostics for a full query inference.
+
+    ``engine`` holds the routing-engine counter deltas accumulated during
+    this query — searches run, nodes settled, and per-cache hits, misses
+    and evictions (see :class:`~repro.roadnet.engine.EngineStats`).
+    """
 
     pairs: List[PairDetail] = field(default_factory=list)
     reference_time_s: float = 0.0
     local_time_s: float = 0.0
     global_time_s: float = 0.0
+    engine: Optional[EngineStats] = None
 
     @property
     def total_time_s(self) -> float:
@@ -183,14 +214,20 @@ class HRIS:
         self._network = network
         self._archive = archive
         self._config = config
+        self._engine = RoutingEngine(network, config.engine_config())
         self._reference_search = ReferenceSearch(
             archive, network, config.reference_config()
         )
-        self._tgi = TraverseGraphInference(network, config.tgi_config())
-        self._nni = NearestNeighborInference(network, config.nni_config())
+        self._tgi = TraverseGraphInference(
+            network, config.tgi_config(), engine=self._engine
+        )
+        self._nni = NearestNeighborInference(
+            network, config.nni_config(), engine=self._engine
+        )
         self._hybrid = HybridInference(
             network,
             HybridConfig(tau=config.tau, tgi=config.tgi_config(), nni=config.nni_config()),
+            engine=self._engine,
         )
 
     @property
@@ -200,6 +237,11 @@ class HRIS:
     @property
     def network(self) -> RoadNetwork:
         return self._network
+
+    @property
+    def engine(self) -> RoutingEngine:
+        """The routing engine shared by every inference component."""
+        return self._engine
 
     def infer_routes(
         self, query: Trajectory, k: Optional[int] = None
@@ -224,6 +266,7 @@ class HRIS:
             raise ValueError("a query needs at least two points")
         k = k if k is not None else self._config.k3
         detail = InferenceDetail()
+        engine_before = self._engine.stats()
 
         stages: List[List[LocalRoute]] = []
         for i in range(len(query) - 1):
@@ -240,9 +283,65 @@ class HRIS:
             stages.append(stage)
 
         t0 = time.perf_counter()
-        result = k_gri(self._network, stages, k)
+        result = k_gri(self._network, stages, k, engine=self._engine)
         detail.global_time_s += time.perf_counter() - t0
+        detail.engine = self._engine.stats().delta(engine_before)
         return result, detail
+
+    def infer_routes_batch(
+        self,
+        trajectories: Iterable[Trajectory],
+        k: Optional[int] = None,
+        workers: int = 1,
+        chunksize: Optional[int] = None,
+        use_processes: Optional[bool] = None,
+    ) -> List[List[GlobalRoute]]:
+        """Infer routes for many queries, optionally across worker processes.
+
+        The result is ordered like the input and is element-for-element
+        identical to calling :meth:`infer_routes` sequentially — workers
+        only change the schedule, never the computation.
+
+        Parallelism uses the ``fork`` start method so every worker shares
+        this instance's read-only network, archive and landmark tables
+        without pickling; per-worker caches warm independently.  When
+        ``workers <= 1``, ``fork`` is unavailable (non-POSIX), or the batch
+        is smaller than two queries, inference runs sequentially in-process
+        — the single code path the equivalence test pins down.
+
+        Args:
+            trajectories: The query trajectories.
+            k: Global routes per query (defaults to the configured k3).
+            workers: Worker processes to fork.
+            chunksize: Queries dispatched per worker task; defaults to an
+                even split across workers.
+            use_processes: ``None`` (default) forks only when the machine
+                has more than one CPU — on a single core a pool costs
+                fork/copy-on-write overhead and splits the shared caches
+                for zero parallelism, so sequential is strictly faster.
+                ``True`` forces the pool regardless (the equivalence test
+                exercises the fork path this way); ``False`` forces
+                sequential.
+        """
+        queries = list(trajectories)
+        if use_processes is None:
+            use_processes = (multiprocessing.cpu_count() or 1) > 1
+        if not use_processes or workers <= 1 or len(queries) < 2:
+            return [self.infer_routes(q, k) for q in queries]
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            return [self.infer_routes(q, k) for q in queries]
+
+        global _BATCH_STATE
+        if chunksize is None:
+            chunksize = max(1, math.ceil(len(queries) / workers))
+        _BATCH_STATE = (self, k, queries)
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                return pool.map(_batch_infer_one, range(len(queries)), chunksize)
+        finally:
+            _BATCH_STATE = None
 
     # -------------------------------------------------------------- internal
 
@@ -278,7 +377,7 @@ class HRIS:
             )
 
         support = compute_segment_support(
-            self._network, references, cfg.candidate_radius
+            self._network, references, cfg.candidate_radius, engine=self._engine
         )
         stage = score_local_routes(
             routes, support, cfg.entropy_floor, cfg.normalize_entropy
@@ -299,12 +398,24 @@ class HRIS:
         dst = self._network.nearest_segments(qi1, 1)
         if not src or not dst:
             return None
-        gap, route = shortest_route_between_segments(
-            self._network, src[0].segment.segment_id, dst[0].segment.segment_id
+        gap, route = self._engine.shortest_route_between_segments(
+            src[0].segment.segment_id, dst[0].segment.segment_id
         )
         if math.isinf(gap):
             return None
         return route
+
+
+#: Fork-inherited batch state: (hris, k, queries).  Set by
+#: :meth:`HRIS.infer_routes_batch` immediately before the pool forks, so
+#: workers address the shared read-only HRIS without pickling it.
+_BATCH_STATE: Optional[Tuple["HRIS", Optional[int], List[Trajectory]]] = None
+
+
+def _batch_infer_one(index: int) -> List[GlobalRoute]:
+    assert _BATCH_STATE is not None, "batch worker started without state"
+    hris, k, queries = _BATCH_STATE
+    return hris.infer_routes(queries[index], k)
 
 
 class HRISMatcher(MapMatcher):

@@ -131,11 +131,24 @@ class _Link:
 
 
 class TraverseGraphInference:
-    """Local route inference on the traverse graph."""
+    """Local route inference on the traverse graph.
 
-    def __init__(self, network: RoadNetwork, config: TGIConfig = TGIConfig()) -> None:
+    Args:
+        engine: Optional :class:`~repro.roadnet.engine.RoutingEngine`
+            providing memoised candidate-edge lookups, reference-support
+            sets and ALT-accelerated bridge routing.  Results are identical
+            with or without it.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: TGIConfig = TGIConfig(),
+        engine=None,
+    ) -> None:
         self._network = network
         self._config = config
+        self._engine = engine
 
     def infer(
         self, qi: Point, qi1: Point, references: Sequence[Reference]
@@ -170,8 +183,13 @@ class TraverseGraphInference:
         if cfg.use_reduction:
             stats.n_links_removed = self._reduce(links)
 
-        def adjacency(node: int):
-            return ((target, link.weight) for target, link in links.get(node, {}).items())
+        # Materialised adjacency: the K-shortest-path search touches these
+        # lists hundreds of thousands of times, so plain tuples handed to
+        # the search as a mapping beat a fresh generator per expansion.
+        adj_lists: Dict[int, Tuple[Tuple[int, float], ...]] = {
+            node: tuple((target, link.weight) for target, link in out.items())
+            for node, out in links.items()
+        }
 
         seen: Set[Tuple[int, ...]] = set()
         scored: List[Tuple[float, Route]] = []
@@ -179,7 +197,7 @@ class TraverseGraphInference:
             for dst in destinations:
                 stats.n_ksp_calls += 1
                 for cost, node_path in yen_k_shortest_paths(
-                    adjacency, src, dst, cfg.k_shortest
+                    adj_lists, src, dst, cfg.k_shortest
                 ):
                     route = self._project(node_path, links)
                     if route is None:
@@ -191,9 +209,7 @@ class TraverseGraphInference:
                     scored.append((cost, route))
         scored.sort(key=lambda pair: pair[0])
         routes = [route for __, route in scored]
-        gap, direct = shortest_route_between_segments(
-            self._network, sources[0], destinations[0]
-        )
+        gap, direct = self._route_between_segments(sources[0], destinations[0])
         yardstick = direct.length(self._network) if not math.isinf(gap) else None
         routes = _filter_detours(
             self._network, routes, cfg.max_detour_ratio, yardstick=yardstick
@@ -201,6 +217,11 @@ class TraverseGraphInference:
         return routes[: cfg.max_routes], stats
 
     # -------------------------------------------------------------- building
+
+    def _route_between_segments(self, a: int, b: int) -> Tuple[float, Route]:
+        if self._engine is not None:
+            return self._engine.shortest_route_between_segments(a, b)
+        return shortest_route_between_segments(self._network, a, b)
 
     def _collect_traverse_edges(self, references: Sequence[Reference]) -> Set[int]:
         """Lines 1–4 of Algorithm 1: direction-consistent candidate edges of
@@ -211,9 +232,15 @@ class TraverseGraphInference:
         """Traverse edges with their support count |C_i(r)|."""
         support: Dict[int, int] = {}
         for ref in references:
-            for sid in reference_traversed_segments(
-                self._network, ref, self._config.candidate_radius
-            ):
+            if self._engine is not None:
+                traversed = self._engine.traversed_segments(
+                    ref, self._config.candidate_radius
+                )
+            else:
+                traversed = reference_traversed_segments(
+                    self._network, ref, self._config.candidate_radius
+                )
+            for sid in traversed:
                 support[sid] = support.get(sid, 0) + 1
         return support
 
@@ -240,7 +267,10 @@ class TraverseGraphInference:
         both make the cut; the K-shortest-path costs decide between them.
         """
         cfg = self._config
-        cands = self._network.candidate_edges(q, cfg.candidate_radius)
+        if self._engine is not None:
+            cands = self._engine.candidate_edges(q, cfg.candidate_radius)
+        else:
+            cands = self._network.candidate_edges(q, cfg.candidate_radius)
         if not cands:
             cands = self._network.nearest_segments(q, cfg.max_endpoint_candidates)
         return [c.segment.segment_id for c in cands[: cfg.max_endpoint_candidates]]
@@ -261,8 +291,13 @@ class TraverseGraphInference:
         """
         links: Dict[int, Dict[int, _Link]] = {}
         expandable = traverse_edges | set(sources)
+        # Per-call memos shared across origins: segment costs are fixed once
+        # the support counts are known, and successor lists are a property of
+        # the network alone.
+        cost_of: Dict[int, float] = {}
+        succ_of: Dict[int, List[int]] = {}
         for r in expandable:
-            neighborhood = self._hop_bounded_reach(r, support)
+            neighborhood = self._hop_bounded_reach(r, support, cost_of, succ_of)
             out: Dict[int, _Link] = {}
             for s, (dist, hops, via) in neighborhood.items():
                 if s in nodes and s != r:
@@ -272,7 +307,11 @@ class TraverseGraphInference:
         return links
 
     def _hop_bounded_reach(
-        self, origin: int, support: Dict[int, int]
+        self,
+        origin: int,
+        support: Dict[int, int],
+        cost_of: Optional[Dict[int, float]] = None,
+        succ_of: Optional[Dict[int, List[int]]] = None,
     ) -> Dict[int, Tuple[float, int, Tuple[int, ...]]]:
         """All segments within λ−1 successor hops of ``origin``.
 
@@ -288,15 +327,31 @@ class TraverseGraphInference:
         """
         net = self._network
         max_hops = self._config.lam - 1
+        if cost_of is None:
+            cost_of = {}
+        if succ_of is None:
+            succ_of = {}
+        seg_cost = self._segment_cost
+        successors = net.successors
+        cost_get = cost_of.get
+        succ_get = succ_of.get
         # frontier: segment -> (cost, path-of-intermediates)
         frontier: Dict[int, Tuple[float, Tuple[int, ...]]] = {origin: (0.0, ())}
         best: Dict[int, Tuple[float, int, Tuple[int, ...]]] = {}
         for hop in range(1, max_hops + 1):
             nxt: Dict[int, Tuple[float, Tuple[int, ...]]] = {}
             for sid, (dist, via) in frontier.items():
-                for succ in net.successors(sid):
-                    ndist = dist + self._segment_cost(succ, support)
-                    nvia = via + (sid,) if sid != origin else ()
+                succs = succ_get(sid)
+                if succs is None:
+                    succs = successors(sid)
+                    succ_of[sid] = succs
+                nvia = via + (sid,) if sid != origin else ()
+                for succ in succs:
+                    cost = cost_get(succ)
+                    if cost is None:
+                        cost = seg_cost(succ, support)
+                        cost_of[succ] = cost
+                    ndist = dist + cost
                     prev = nxt.get(succ)
                     if prev is None or ndist < prev[0]:
                         nxt[succ] = (ndist, nvia)
@@ -415,7 +470,7 @@ class TraverseGraphInference:
                 ids.extend(link.via)
                 ids.append(b)
                 continue
-            gap, bridge = shortest_route_between_segments(self._network, a, b)
+            gap, bridge = self._route_between_segments(a, b)
             if math.isinf(gap):
                 return None
             ids.extend(bridge.segment_ids[1:])

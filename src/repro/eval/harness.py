@@ -25,6 +25,7 @@ __all__ = [
     "ExperimentTable",
     "evaluate_accuracy",
     "evaluate_accuracy_and_time",
+    "evaluate_accuracy_batch",
     "standard_scenario",
     "sparse_scenario",
     "density_scenario",
@@ -128,6 +129,46 @@ def evaluate_accuracy_and_time(
     if not accs:
         raise ValueError("no evaluable queries at this sampling interval")
     return float(np.mean(accs)), float(np.mean(times))
+
+
+def evaluate_accuracy_batch(
+    network: RoadNetwork,
+    hris,
+    cases: Sequence[QueryCase],
+    interval_s: float,
+    workers: int = 1,
+) -> Tuple[float, float]:
+    """Mean top-1 A_L of an HRIS instance over ``cases``, inferred as one
+    batch through :meth:`~repro.core.system.HRIS.infer_routes_batch`.
+
+    Batch results are element-for-element identical to per-query
+    :meth:`infer_routes` calls, so this reports the same accuracy as
+    :func:`evaluate_accuracy` over an ``HRISMatcher`` — only faster, since
+    the engine caches stay warm across queries (and, on multi-core
+    machines, queries fan out over ``workers`` processes).
+
+    Returns:
+        ``(mean A_L, total wall seconds for the whole batch)``.
+    """
+    queries: List = []
+    truths: List = []
+    for case in cases:
+        query = downsample(case.query, interval_s)
+        if len(query) < 2:
+            continue
+        queries.append(query)
+        truths.append(case.truth)
+    if not queries:
+        raise ValueError("no evaluable queries at this sampling interval")
+    t0 = time.perf_counter()
+    results = hris.infer_routes_batch(queries, workers=workers)
+    elapsed = time.perf_counter() - t0
+    accs = [
+        route_accuracy(network, truth, routes[0].route)
+        for truth, routes in zip(truths, results)
+        if routes
+    ]
+    return float(np.mean(accs)), elapsed
 
 
 def standard_scenario(seed: int = 7, n_queries: int = 10) -> Scenario:

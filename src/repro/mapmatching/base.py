@@ -61,29 +61,36 @@ def find_candidates(
     point: Point,
     radius: float,
     max_candidates: int = 5,
+    engine=None,
 ) -> List[CandidateEdge]:
     """Candidate edges of a point, nearest first, never empty if the network
     has segments.
 
     Uses the Definition 5 radius search and falls back to the k nearest
     segments when no segment lies within ``radius`` (an outlier GPS point
-    must still be matched somewhere).
+    must still be matched somewhere).  When an ``engine``
+    (:class:`~repro.roadnet.engine.RoutingEngine`) is given, the radius
+    search goes through its memoised candidate-edge cache.
     """
-    hits = network.candidate_edges(point, radius)
+    if engine is not None:
+        hits = engine.candidate_edges(point, radius)
+    else:
+        hits = network.candidate_edges(point, radius)
     if not hits:
         hits = network.nearest_segments(point, max_candidates)
     return hits[:max_candidates]
 
 
 def stitch_route(
-    network: RoadNetwork, matched_segments: Sequence[int]
+    network: RoadNetwork, matched_segments: Sequence[int], engine=None
 ) -> Route:
     """Connect a sequence of matched segments into one route.
 
     Consecutive duplicates collapse; non-adjacent consecutive segments are
     bridged with the network shortest path.  Unreachable bridges are skipped
     (the route continues from the next segment) rather than failing, which
-    mirrors how deployed matchers tolerate map defects.
+    mirrors how deployed matchers tolerate map defects.  An ``engine``
+    routes the bridges through its cache with the ALT heuristic.
     """
     ids: List[int] = []
     for sid in matched_segments:
@@ -95,7 +102,10 @@ def stitch_route(
         if network.are_connected(ids[-1], sid):
             ids.append(sid)
             continue
-        gap, bridge = shortest_route_between_segments(network, ids[-1], sid)
+        if engine is not None:
+            gap, bridge = engine.shortest_route_between_segments(ids[-1], sid)
+        else:
+            gap, bridge = shortest_route_between_segments(network, ids[-1], sid)
         if math.isinf(gap):
             ids.append(sid)  # tolerate the break
             continue

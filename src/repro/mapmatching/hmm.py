@@ -52,11 +52,24 @@ class HMMConfig:
 
 
 class HMMMatcher(MapMatcher):
-    """Viterbi decoder over the candidate lattice."""
+    """Viterbi decoder over the candidate lattice.
 
-    def __init__(self, network: RoadNetwork, config: HMMConfig = HMMConfig()) -> None:
+    Args:
+        engine: Optional :class:`~repro.roadnet.engine.RoutingEngine` used
+            for memoised candidate lookups and cached stitch bridges.  The
+            transition oracle stays local because its ``max_route_distance``
+            bound is part of the model, not an implementation detail.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: HMMConfig = HMMConfig(),
+        engine=None,
+    ) -> None:
         self._network = network
         self._config = config
+        self._engine = engine
         self._oracle = DistanceOracle(network, config.max_route_distance)
 
     def match(self, trajectory: Trajectory) -> MatchResult:
@@ -64,7 +77,13 @@ class HMMMatcher(MapMatcher):
         pts = trajectory.points
         n = len(pts)
         layers: List[List[CandidateEdge]] = [
-            find_candidates(self._network, p.point, cfg.radius, cfg.max_candidates)
+            find_candidates(
+                self._network,
+                p.point,
+                cfg.radius,
+                cfg.max_candidates,
+                engine=self._engine,
+            )
             for p in pts
         ]
 
@@ -75,27 +94,49 @@ class HMMMatcher(MapMatcher):
         score: List[List[float]] = [[log_emission(c) for c in layers[0]]]
         parent: List[List[int]] = [[-1] * len(layers[0])]
 
+        inf = math.inf
+        beta = cfg.beta
+        oracle_table = self._oracle.table
         for i in range(1, n):
             d_euclid = pts[i].point.distance_to(pts[i - 1].point)
+            # Per-previous-candidate state hoisted out of the pair loop: the
+            # distance table, segment id, offset and tail length are the
+            # same for every current candidate, so fetch them once.  The
+            # inlined arithmetic below mirrors
+            # DistanceOracle.route_distance_between_projections exactly.
+            prev_info: List[Optional[tuple]] = []
+            for k, prev_cand in enumerate(layers[i - 1]):
+                sc = score[i - 1][k]
+                if sc == -inf:
+                    prev_info.append(None)
+                    continue
+                seg = prev_cand.segment
+                off = prev_cand.projection.offset
+                prev_info.append(
+                    (sc, seg.segment_id, off, seg.length - off, oracle_table(seg.end))
+                )
             cur: List[float] = []
             par: List[int] = []
             for cand in layers[i]:
                 emit = log_emission(cand)
-                best_val = -math.inf
+                cand_seg = cand.segment
+                cand_id = cand_seg.segment_id
+                cand_off = cand.projection.offset
+                cand_start = cand_seg.start
+                best_val = -inf
                 best_k = -1
-                for k, prev_cand in enumerate(layers[i - 1]):
-                    if score[i - 1][k] == -math.inf:
+                for k, info in enumerate(prev_info):
+                    if info is None:
                         continue
-                    d_route = self._oracle.route_distance_between_projections(
-                        prev_cand.segment.segment_id,
-                        prev_cand.projection.offset,
-                        cand.segment.segment_id,
-                        cand.projection.offset,
-                    )
-                    if math.isinf(d_route):
-                        continue
-                    log_trans = -abs(d_route - d_euclid) / cfg.beta
-                    val = score[i - 1][k] + log_trans + emit
+                    sc, prev_id, prev_off, tail, table = info
+                    if prev_id == cand_id and cand_off >= prev_off:
+                        d_route = cand_off - prev_off
+                    else:
+                        via = table.get(cand_start, inf)
+                        if via == inf:
+                            continue
+                        d_route = tail + via + cand_off
+                    val = sc + -abs(d_route - d_euclid) / beta + emit
                     if val > best_val:
                         best_val = val
                         best_k = k
@@ -121,5 +162,5 @@ class HMMMatcher(MapMatcher):
                 j = parent[i][j]
 
         segments = [c.segment.segment_id for c in chosen if c is not None]
-        route = stitch_route(self._network, segments)
+        route = stitch_route(self._network, segments, engine=self._engine)
         return MatchResult(route=route, matched=tuple(chosen))

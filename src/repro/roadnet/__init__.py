@@ -15,6 +15,8 @@ from repro.roadnet.generators import (
     manhattan_line,
     ring_radial_city,
 )
+from repro.roadnet.cache import CacheStats, LRUCache
+from repro.roadnet.engine import EngineConfig, EngineStats, RoutingEngine
 from repro.roadnet.io import load_network, network_from_dict, network_to_dict, save_network
 from repro.roadnet.ksp import dijkstra_generic, yen_k_shortest_paths
 from repro.roadnet.neighborhood import hop_distance, hop_distances, lambda_neighborhood
@@ -22,7 +24,10 @@ from repro.roadnet.network import CandidateEdge, RoadNetwork, RoadNode, RoadSegm
 from repro.roadnet.route import Route
 from repro.roadnet.shortest_path import (
     DistanceOracle,
+    LandmarkIndex,
+    SearchStats,
     astar,
+    combined_heuristic,
     dijkstra,
     dijkstra_all,
     node_path_to_route,
@@ -34,14 +39,22 @@ __all__ = [
     "ARTERIAL_SPEED",
     "HIGHWAY_SPEED",
     "LOCAL_SPEED",
+    "CacheStats",
     "CandidateEdge",
     "DistanceOracle",
+    "EngineConfig",
+    "EngineStats",
     "GridCityConfig",
+    "LRUCache",
+    "LandmarkIndex",
     "RoadNetwork",
     "RoadNode",
     "RoadSegment",
     "Route",
+    "RoutingEngine",
+    "SearchStats",
     "astar",
+    "combined_heuristic",
     "dijkstra",
     "dijkstra_all",
     "dijkstra_generic",

@@ -1,0 +1,127 @@
+"""Bounded LRU caches with hit/miss/eviction accounting.
+
+Every memoisation layer of the routing engine — the distance oracle, the
+segment-pair route cache, the candidate-edge cache and the reference-support
+cache — is an :class:`LRUCache`.  Bounding the caches keeps long-running
+batch inference at a fixed memory footprint, and the counters feed the
+per-query diagnostics (:class:`~repro.core.system.InferenceDetail`) and the
+throughput benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Generic, Optional, TypeVar
+
+__all__ = ["CacheStats", "LRUCache"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Counters of one cache: lookups that hit, missed, and evictions."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter difference since an ``earlier`` snapshot."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+        )
+
+
+class LRUCache(Generic[K, V]):
+    """A least-recently-used cache with a hard entry bound.
+
+    Args:
+        maxsize: Maximum entries held.  ``None`` means unbounded (the seed
+            behaviour of the distance oracle); ``0`` disables caching
+            entirely — every lookup is a miss and nothing is stored, which
+            gives benchmark baselines a zero-overhead off switch.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError("maxsize must be non-negative or None")
+        self._maxsize = maxsize
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def maxsize(self) -> Optional[int]:
+        return self._maxsize
+
+    @property
+    def enabled(self) -> bool:
+        return self._maxsize is None or self._maxsize > 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def get(self, key: K) -> Optional[V]:
+        """The cached value, refreshed as most-recent; None on miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        """Store a value, evicting the least-recent entry when full."""
+        if not self.enabled:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return
+        if self._maxsize is not None and len(self._data) >= self._maxsize:
+            self._data.popitem(last=False)
+            self.stats.evictions += 1
+        self._data[key] = value
+
+    def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
+        """The cached value, or ``compute()`` stored under ``key``.
+
+        With caching disabled the value is computed every time (counted as
+        a miss), so callers never need a separate uncached code path.
+        """
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value  # type: ignore[return-value]
+        self.stats.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._data.clear()

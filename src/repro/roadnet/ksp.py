@@ -11,12 +11,32 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 __all__ = ["yen_k_shortest_paths", "dijkstra_generic"]
 
 N = TypeVar("N", bound=Hashable)
-Adjacency = Callable[[N], Iterable[Tuple[N, float]]]
+# Either an adjacency function, or a plain mapping node -> (neighbor, weight)
+# pairs.  The mapping form lets the search use a C-level ``dict.get`` per
+# expansion instead of a Python frame, which matters at K-shortest-path call
+# volumes.
+Adjacency = Union[
+    Callable[[N], Iterable[Tuple[N, float]]],
+    Mapping[N, Sequence[Tuple[N, float]]],
+]
 
 
 def dijkstra_generic(
@@ -38,8 +58,6 @@ def dijkstra_generic(
     Returns:
         ``(cost, node_path)``; ``(inf, [])`` when no path exists.
     """
-    removed_edges = removed_edges or set()
-    removed_nodes = removed_nodes or set()
     if source == target:
         return 0.0, [source]
     dist: Dict[N, float] = {source: 0.0}
@@ -47,8 +65,13 @@ def dijkstra_generic(
     counter = 0
     heap: List[Tuple[float, int, N]] = [(0.0, counter, source)]
     settled: Set[N] = set()
+    heappop, heappush = heapq.heappop, heapq.heappush
+    dist_get = dist.get
+    inf = math.inf
+    adj_get = None if callable(adj) else adj.get
+    pruned = removed_nodes is not None or removed_edges is not None
     while heap:
-        d, __, u = heapq.heappop(heap)
+        d, __, u = heappop(heap)
         if u in settled:
             continue
         settled.add(u)
@@ -58,26 +81,36 @@ def dijkstra_generic(
                 path.append(prev[path[-1]])
             path.reverse()
             return d, path
-        for v, w in adj(u):
-            if v in removed_nodes or (u, v) in removed_edges or v in settled:
-                continue
-            if w < 0:
-                raise ValueError("negative edge weights are not supported")
-            nd = d + w
-            if nd < dist.get(v, math.inf):
-                dist[v] = nd
-                prev[v] = u
-                counter += 1
-                heapq.heappush(heap, (nd, counter, v))
+        neighbors = adj(u) if adj_get is None else adj_get(u, ())
+        if pruned:
+            for v, w in neighbors:
+                if v in settled:
+                    continue
+                if removed_nodes is not None and v in removed_nodes:
+                    continue
+                if removed_edges is not None and (u, v) in removed_edges:
+                    continue
+                if w < 0:
+                    raise ValueError("negative edge weights are not supported")
+                nd = d + w
+                if nd < dist_get(v, inf):
+                    dist[v] = nd
+                    prev[v] = u
+                    counter += 1
+                    heappush(heap, (nd, counter, v))
+        else:
+            for v, w in neighbors:
+                if v in settled:
+                    continue
+                if w < 0:
+                    raise ValueError("negative edge weights are not supported")
+                nd = d + w
+                if nd < dist_get(v, inf):
+                    dist[v] = nd
+                    prev[v] = u
+                    counter += 1
+                    heappush(heap, (nd, counter, v))
     return math.inf, []
-
-
-def _path_cost(adj: Adjacency, path: List[N]) -> float:
-    total = 0.0
-    for u, v in zip(path, path[1:]):
-        w = min((w for n, w in adj(u) if n == v), default=math.inf)
-        total += w
-    return total
 
 
 def yen_k_shortest_paths(
@@ -98,21 +131,40 @@ def yen_k_shortest_paths(
     """
     if k <= 0:
         return []
+    if callable(adj):
+        neighbors_of = adj
+    else:
+        mapping = adj
+        neighbors_of = lambda u: mapping.get(u, ())  # noqa: E731
     best_cost, best_path = dijkstra_generic(adj, source, target)
     if not best_path:
         return []
     paths: List[Tuple[float, List[N]]] = [(best_cost, best_path)]
     # Candidate heap with a tiebreak counter so paths never compare.
-    candidates: List[Tuple[float, int, List[N]]] = []
+    candidates: List[Tuple[float, int, int, List[N]]] = []
     seen_paths: Set[Tuple[N, ...]] = {tuple(best_path)}
     counter = 0
+    # Lawler's modification: spur searches below the deviation index of the
+    # path being branched would rebuild candidates an earlier iteration
+    # already produced (identical root prefix, identical removed edges), so
+    # each accepted path remembers where it deviated from its parent and
+    # branching starts there.  The accepted paths are unchanged; only the
+    # redundant Dijkstra runs disappear.
+    deviation_of: List[int] = [0]
 
     while len(paths) < k:
         __, prev_path = paths[-1]
-        for i in range(len(prev_path) - 1):
+        # Prefix costs of the previous path, computed once per iteration —
+        # recomputing the root cost edge-by-edge at every spur node makes
+        # the classic formulation quadratic in the path length.
+        prefix_costs = [0.0]
+        for u, v in zip(prev_path, prev_path[1:]):
+            w = min((wt for n, wt in neighbors_of(u) if n == v), default=math.inf)
+            prefix_costs.append(prefix_costs[-1] + w)
+        for i in range(deviation_of[-1], len(prev_path) - 1):
             spur_node = prev_path[i]
             root_path = prev_path[: i + 1]
-            root_cost = _path_cost(adj, root_path)
+            root_cost = prefix_costs[i]
 
             removed_edges: Set[Tuple[N, N]] = set()
             for __, p in paths:
@@ -133,10 +185,11 @@ def yen_k_shortest_paths(
             seen_paths.add(key)
             counter += 1
             heapq.heappush(
-                candidates, (root_cost + spur_cost, counter, total_path)
+                candidates, (root_cost + spur_cost, counter, i, total_path)
             )
         if not candidates:
             break
-        cost, __, path = heapq.heappop(candidates)
+        cost, __, dev, path = heapq.heappop(candidates)
         paths.append((cost, path))
+        deviation_of.append(dev)
     return paths

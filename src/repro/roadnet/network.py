@@ -124,6 +124,7 @@ class RoadNetwork:
         self._segments: Dict[int, RoadSegment] = {}
         self._out: Dict[int, List[int]] = {}
         self._in: Dict[int, List[int]] = {}
+        self._cheapest: Dict[Tuple[int, int], int] = {}
         self._segment_index: Optional[RTree[int]] = None
         self._max_speed: float = 0.0
 
@@ -158,6 +159,10 @@ class RoadNetwork:
         self._segments[segment.segment_id] = segment
         self._out[segment.start].append(segment.segment_id)
         self._in[segment.end].append(segment.segment_id)
+        key = (segment.start, segment.end)
+        incumbent = self._cheapest.get(key)
+        if incumbent is None or segment.length < self._segments[incumbent].length:
+            self._cheapest[key] = segment.segment_id
         if segment.speed_limit > self._max_speed:
             self._max_speed = segment.speed_limit
         self._segment_index = None  # invalidate lazy index
@@ -211,6 +216,16 @@ class RoadNetwork:
     def predecessors(self, segment_id: int) -> List[int]:
         """Segments that can directly precede ``segment_id`` on a route."""
         return self._in.get(self._segments[segment_id].start, [])
+
+    def cheapest_segment_between(self, start: int, end: int) -> Optional[int]:
+        """Id of the shortest segment ``start -> end``; None if not adjacent.
+
+        A precomputed adjacency map maintained by :meth:`add_segment`, so
+        node-path-to-route conversion never scans ``out_segments``.  Among
+        equal-length parallel segments the first added wins, matching the
+        historical linear-scan behaviour.
+        """
+        return self._cheapest.get((start, end))
 
     def are_connected(self, first_id: int, second_id: int) -> bool:
         """True if ``second`` may directly follow ``first`` on a route."""

@@ -453,6 +453,59 @@ class RTree(Generic[T]):
         for child in node.children:
             self._search_radius(child, box, center, radius, position, out)
 
+    def search_radius_many(
+        self,
+        queries: Sequence[Tuple[Point, float]],
+        position: Optional[Callable[[T], Point]] = None,
+    ) -> List[List[T]]:
+        """Range queries for several ``(center, radius)`` circles at once.
+
+        One tree walk serves every circle: a node is descended if *any*
+        query circle intersects its box, and each leaf entry is tested
+        against the circles whose boxes it intersects.  Equivalent to
+        calling :meth:`search_radius` per circle, but without repeating the
+        shared upper levels of the traversal — the reference search issues
+        its two φ-range queries around a query-point pair this way.
+
+        Returns:
+            One result list per query, in query order.
+        """
+        for __, radius in queries:
+            if radius < 0:
+                raise ValueError("radius must be non-negative")
+        boxes = [BBox.around(center, radius) for center, radius in queries]
+        out: List[List[T]] = [[] for __ in queries]
+        if not queries:
+            return out
+        self._search_radius_many(self._root, queries, boxes, position, out)
+        return out
+
+    def _search_radius_many(
+        self,
+        node: _Node[T],
+        queries: Sequence[Tuple[Point, float]],
+        boxes: Sequence[BBox],
+        position: Optional[Callable[[T], Point]],
+        out: List[List[T]],
+    ) -> None:
+        if node.bbox is None:
+            return
+        live = [i for i, box in enumerate(boxes) if node.bbox.intersects(box)]
+        if not live:
+            return
+        if node.leaf:
+            for e in node.entries:
+                for i in live:
+                    center, radius = queries[i]
+                    if position is not None:
+                        if position(e.item).distance_to(center) <= radius:
+                            out[i].append(e.item)
+                    elif e.bbox.min_distance_to_point(center) <= radius:
+                        out[i].append(e.item)
+            return
+        for child in node.children:
+            self._search_radius_many(child, queries, boxes, position, out)
+
     def nearest(
         self,
         query: Point,

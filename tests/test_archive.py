@@ -72,6 +72,16 @@ class TestQueries:
         hits = a.trajectories_near(Point(10, 0), 100.0)
         assert hits == {0: [0, 1, 2]}
 
+    def test_trajectories_near_pair_matches_two_single_queries(self):
+        a = TrajectoryArchive()
+        a.add(traj([(0, 0), (10, 0), (20, 0)]))
+        a.add(traj([(400, 0), (410, 0)]))
+        a.add(traj([(5000, 5000), (5100, 5000)]))
+        qi, qi1 = Point(10, 0), Point(405, 0)
+        near_i, near_j = a.trajectories_near_pair(qi, qi1, 100.0)
+        assert near_i == a.trajectories_near(qi, 100.0)
+        assert near_j == a.trajectories_near(qi1, 100.0)
+
     def test_index_invalidated_on_add(self):
         a = TrajectoryArchive()
         a.add(traj([(0, 0), (10, 0)]))

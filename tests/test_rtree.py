@@ -113,6 +113,26 @@ class TestRangeQueries:
         for __, p in got:
             assert p.distance_to(Point(500, 500)) <= 200
 
+    def test_radius_many_matches_single_queries(self):
+        pts = _random_points(300, seed=21)
+        t: RTree[int] = RTree(max_entries=8)
+        for i, p in enumerate(pts):
+            t.insert_point(p, i)
+        queries = [
+            (Point(200, 200), 150.0),
+            (Point(500, 500), 90.0),
+            (Point(210, 210), 150.0),  # overlaps the first circle
+            (Point(900, 100), 0.0),
+        ]
+        many = t.search_radius_many(queries)
+        assert len(many) == len(queries)
+        for (center, radius), got in zip(queries, many):
+            assert got == t.search_radius(center, radius)
+
+    def test_radius_many_empty_queries(self):
+        t: RTree[int] = RTree()
+        assert t.search_radius_many([]) == []
+
 
 class TestNearest:
     def test_knn_matches_brute_force(self):
