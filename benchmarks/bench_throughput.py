@@ -11,7 +11,13 @@ Measures, on the standard evaluation world:
   the single-query latency win;
 * **batch** — :meth:`HRIS.infer_routes_batch` over the whole query set
   with the requested worker count (the auto policy forks only on
-  multi-core machines), plus the forced-pool time for transparency.
+  multi-core machines), plus the forced-pool time for transparency;
+* **sharded archive** — the same sequential workload served by
+  :class:`ShardedArchive` instead of the monolithic in-memory backend,
+  plus a per-worker emulation: the query set is split into the same
+  contiguous chunks the batch pool would hand to each worker, and each
+  chunk runs against a fresh sharded archive so the resident tile set
+  (points, tiles, approximate index bytes) of every worker is measured.
 
 Every configuration must produce identical top-K routes and scores; the
 benchmark verifies this and records the outcome.  Results are written as
@@ -37,6 +43,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.archive import convert_archive  # noqa: E402
 from repro.core.system import HRIS, HRISConfig  # noqa: E402
 from repro.eval.harness import standard_scenario  # noqa: E402
 from repro.eval.metrics import route_accuracy  # noqa: E402
@@ -58,6 +65,12 @@ def result_keys(results):
     ]
 
 
+def chunk_queries(queries, workers):
+    """The contiguous per-worker chunks the batch pool would dispatch."""
+    size = max(1, -(-len(queries) // workers))
+    return [queries[i : i + size] for i in range(0, len(queries), size)]
+
+
 def time_sequential(hris, queries):
     latencies = []
     results = []
@@ -74,6 +87,12 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=4, help="batch workers")
     parser.add_argument(
         "--interval", type=float, default=300.0, help="query sampling interval (s)"
+    )
+    parser.add_argument(
+        "--tile-size",
+        type=float,
+        default=800.0,
+        help="tile edge (metres) for the sharded-archive configuration",
     )
     parser.add_argument("--out", type=Path, default=None, help="output JSON path")
     parser.add_argument(
@@ -136,6 +155,46 @@ def main(argv=None) -> int:
     t_forced = time.perf_counter() - t0
     print(f"batch workers={args.workers} (forced pool): {t_forced:.3f}s")
 
+    # --- sharded archive: same workload, tiled backend --------------------
+    sharded = convert_archive(scenario.archive, "sharded", args.tile_size)
+    h_sharded = HRIS(scenario.network, sharded, HRISConfig())
+    res_sharded, lat_sharded = time_sequential(h_sharded, queries)
+    t_sharded = sum(lat_sharded)
+    mono_bytes = scenario.archive.index_nbytes()
+    print(
+        f"sharded (tile={args.tile_size:.0f}m) sequential: {t_sharded:.3f}s  "
+        f"resident {sharded.resident_points}/{sharded.num_points} pts, "
+        f"{sharded.resident_tiles}/{sharded.total_tiles} tiles"
+    )
+
+    # Per-worker residency: run each pool chunk against its own fresh
+    # sharded archive, as a forked worker would, and measure what it
+    # actually materialises.
+    per_worker = []
+    for i, chunk in enumerate(chunk_queries(queries, args.workers)):
+        arch = convert_archive(scenario.archive, "sharded", args.tile_size)
+        arch.prepare_for_fork()
+        h_w = HRIS(scenario.network, arch, HRISConfig())
+        for query in chunk:
+            h_w.infer_routes(query)
+        per_worker.append(
+            {
+                "worker": i,
+                "queries": len(chunk),
+                "resident_points": arch.resident_points,
+                "resident_tiles": arch.resident_tiles,
+                "index_bytes": arch.index_nbytes(),
+            }
+        )
+    resident_fractions = [
+        w["resident_points"] / sharded.num_points for w in per_worker
+    ]
+    print(
+        "per-worker resident points: "
+        + ", ".join(str(w["resident_points"]) for w in per_worker)
+        + f"  (archive total {sharded.num_points})"
+    )
+
     # --- identity: every configuration must agree exactly -----------------
     ref = result_keys(res_seed)
     identical = {
@@ -143,6 +202,7 @@ def main(argv=None) -> int:
         "batch1_vs_seed": result_keys(res_b1) == ref,
         "batch_vs_seed": result_keys(res_bn) == ref,
         "forced_pool_vs_seed": result_keys(res_bf) == ref,
+        "sharded_vs_seed": result_keys(res_sharded) == ref,
     }
     print(f"identity: {identical}")
     accuracy = sum(
@@ -180,6 +240,25 @@ def main(argv=None) -> int:
             f"workers_{args.workers}_total_s": round(t_bn, 4),
             f"workers_{args.workers}_forced_pool_total_s": round(t_forced, 4),
             "queries_per_s": round(len(queries) / t_bn, 3),
+        },
+        "sharded_archive": {
+            "tile_size_m": args.tile_size,
+            "total_s": round(t_sharded, 4),
+            "mean_latency_s": round(t_sharded / len(queries), 4),
+            "queries_per_s": round(len(queries) / t_sharded, 3),
+            "archive_points": sharded.num_points,
+            "resident_points": sharded.resident_points,
+            "resident_tiles": sharded.resident_tiles,
+            "total_tiles": sharded.total_tiles,
+            "index_bytes": sharded.index_nbytes(),
+            "monolithic_index_bytes": mono_bytes,
+            "per_worker": per_worker,
+            "per_worker_mean_resident_fraction": round(
+                sum(resident_fractions) / len(resident_fractions), 4
+            ),
+            "per_worker_max_resident_fraction": round(
+                max(resident_fractions), 4
+            ),
         },
         "speedups": {
             "single_query_engine_vs_seed": round(t_seed / t_engine, 3),

@@ -24,6 +24,8 @@ from repro.core import (
     GlobalRoute,
     HRISConfig,
     HRISMatcher,
+    InMemoryArchive,
+    ShardedArchive,
     TrajectoryArchive,
 )
 from repro.datasets import Scenario, ScenarioConfig, build_scenario
@@ -38,7 +40,9 @@ __all__ = [
     "GlobalRoute",
     "HRISConfig",
     "HRISMatcher",
+    "InMemoryArchive",
     "RoadNetwork",
+    "ShardedArchive",
     "Route",
     "Scenario",
     "ScenarioConfig",

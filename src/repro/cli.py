@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core.archive import ARCHIVE_BACKENDS
 from repro.core.system import HRIS, HRISConfig
 from repro.datasets.io import load_scenario, save_scenario
 from repro.datasets.synthetic import ScenarioConfig, build_scenario
@@ -27,9 +29,75 @@ from repro.eval.harness import ExperimentTable, evaluate_accuracy, evaluate_accu
 from repro.eval.metrics import route_accuracy
 from repro.mapmatching import IncrementalMatcher, IVMMMatcher, STMatcher
 from repro.roadnet.generators import GridCityConfig
+from repro.roadnet.io import load_landmarks, save_landmarks
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.shortest_path import LandmarkIndex
 from repro.trajectory.resample import downsample
 
 __all__ = ["main", "build_parser"]
+
+#: Landmark-index cache file stored next to a saved world's network.
+LANDMARKS_FILE = "landmarks.json"
+
+
+def _add_archive_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--archive-backend",
+        choices=ARCHIVE_BACKENDS,
+        default="memory",
+        help=(
+            "spatial archive backend: 'memory' holds one R-tree over all "
+            "points, 'sharded' tiles them and indexes lazily per tile "
+            "(identical results either way)"
+        ),
+    )
+    cmd.add_argument(
+        "--tile-size",
+        type=float,
+        default=None,
+        help="tile side in metres for --archive-backend sharded",
+    )
+    cmd.add_argument(
+        "--no-landmark-cache",
+        action="store_true",
+        help=(
+            "do not reuse/persist the ALT landmark index next to the "
+            "saved world (landmarks.json)"
+        ),
+    )
+
+
+def _landmark_index_for(
+    world: Path, network: RoadNetwork, n_landmarks: int, enabled: bool
+) -> Optional[LandmarkIndex]:
+    """Reuse a persisted landmark index for a saved world, or build + save.
+
+    The index is exact and a pure function of the network, so a cached
+    copy whose landmark count and node coverage match is interchangeable
+    with a fresh build.  Returns ``None`` when caching is off or ALT is
+    disabled — HRIS then builds (or skips) its own.
+    """
+    if not enabled or n_landmarks <= 0:
+        return None
+    expected = min(n_landmarks, network.num_nodes)
+    path = world / LANDMARKS_FILE
+    if path.exists():
+        try:
+            index = load_landmarks(path)
+        except (ValueError, OSError, KeyError, TypeError):
+            index = None
+        if (
+            index is not None
+            and len(index) == expected
+            and all(network.has_node(lid) for lid in index.landmarks)
+        ):
+            return index
+    index = LandmarkIndex.build(network, n_landmarks)
+    try:
+        save_landmarks(index, path)
+    except OSError:
+        pass  # read-only world dir: still usable, just not cached
+    return index
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="hybrid",
         help="local inference method",
     )
+    _add_archive_options(inf)
 
     ev = sub.add_parser("evaluate", help="compare HRIS against the baselines")
     ev.add_argument("--world", required=True, help="scenario directory")
@@ -85,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
             "identical at any worker count; >1 pays off on multi-core)"
         ),
     )
+    _add_archive_options(ev)
     return parser
 
 
@@ -117,7 +187,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    scenario = load_scenario(args.world)
+    scenario = load_scenario(
+        args.world, archive_backend=args.archive_backend, tile_size=args.tile_size
+    )
     if not (0 <= args.query < len(scenario.queries)):
         print(
             f"error: query index {args.query} out of range "
@@ -127,10 +199,17 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         return 2
     case = scenario.queries[args.query]
     query = downsample(case.query, args.interval)
+    config = HRISConfig(local_method=args.method)
     hris = HRIS(
         scenario.network,
         scenario.archive,
-        HRISConfig(local_method=args.method),
+        config,
+        landmark_index=_landmark_index_for(
+            Path(args.world),
+            scenario.network,
+            config.n_landmarks,
+            enabled=not args.no_landmark_cache,
+        ),
     )
     routes, detail = hris.infer_routes_with_details(query, args.k)
     print(
@@ -149,9 +228,22 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    scenario = load_scenario(args.world)
+    scenario = load_scenario(
+        args.world, archive_backend=args.archive_backend, tile_size=args.tile_size
+    )
     network = scenario.network
-    hris = HRIS(network, scenario.archive, HRISConfig())
+    config = HRISConfig()
+    hris = HRIS(
+        network,
+        scenario.archive,
+        config,
+        landmark_index=_landmark_index_for(
+            Path(args.world),
+            network,
+            config.n_landmarks,
+            enabled=not args.no_landmark_cache,
+        ),
+    )
     matchers = {
         "IVMM": IVMMMatcher(network),
         "ST-matching": STMatcher(network),

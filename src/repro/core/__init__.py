@@ -5,7 +5,17 @@ Public surface: build a :class:`TrajectoryArchive` from history, construct
 :meth:`HRIS.infer_routes` on a low-sampling-rate query.
 """
 
-from repro.core.archive import ArchivePoint, TrajectoryArchive
+from repro.core.archive import (
+    ArchiveBackend,
+    ArchivePoint,
+    InMemoryArchive,
+    ShardedArchive,
+    TrajectoryArchive,
+    convert_archive,
+    load_archive,
+    make_archive,
+    save_archive,
+)
 from repro.core.freespace import (
     FreeGlobalRoute,
     FreeRoute,
@@ -35,7 +45,14 @@ from repro.core.traverse_graph import TGIConfig, TGIStats, TraverseGraphInferenc
 
 __all__ = [
     "HRIS",
+    "ArchiveBackend",
     "ArchivePoint",
+    "InMemoryArchive",
+    "ShardedArchive",
+    "convert_archive",
+    "load_archive",
+    "make_archive",
+    "save_archive",
     "FreeGlobalRoute",
     "FreeRoute",
     "FreeSpaceConfig",

@@ -1,23 +1,71 @@
-"""Trajectory archive: the preprocessed historical database.
+"""Trajectory archive layer: the preprocessed historical database.
 
 The preprocessing component of Fig. 2: raw GPS logs are partitioned into
 trips (stay-point removal), optionally aligned to the road network, and all
-GPS points are organised in an R-tree so the reference-trajectory search can
-issue the two range queries of Sec. III-A efficiently.
+GPS points are organised in spatial indexes so the reference-trajectory
+search can issue the two range queries of Sec. III-A efficiently.
+
+The layer is split into pluggable backends behind one protocol:
+
+* :class:`ArchiveBackend` — what the reference search, HRIS and the eval
+  harness need from an archive (trip access, point iteration, the range
+  queries);
+* :class:`InMemoryArchive` — the classic single-R-tree implementation
+  (kept available under its historical name :data:`TrajectoryArchive`);
+* :class:`ShardedArchive` — points partitioned into square spatial tiles
+  with one lazily built R-tree per tile; range and pair queries are routed
+  only to the overlapping tiles, so a worker serving a localised query set
+  materialises a fraction of the archive's index.
+
+Every backend returns **canonically ordered** query results — point hits
+sorted by ``(traj_id, index)``, near-maps keyed in ascending trajectory
+id — so backends are interchangeable bit-for-bit: merging per-shard hits
+and sorting yields exactly the monolithic answer (each point lives in
+exactly one tile, so the merge needs no boundary heuristics).
+
+:func:`save_archive` / :func:`load_archive` persist an archive together
+with its spatial index metadata (the tile assignment), so re-opening a
+sharded archive skips the re-binning pass.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 from repro.geo.bbox import BBox
 from repro.geo.point import Point
 from repro.spatial.rtree import RTree
+from repro.trajectory.io import iter_trajectories, save_trajectories
 from repro.trajectory.model import GPSPoint, Trajectory
 from repro.trajectory.staypoint import partition_trips
 
-__all__ = ["ArchivePoint", "TrajectoryArchive"]
+__all__ = [
+    "ArchivePoint",
+    "ArchiveBackend",
+    "InMemoryArchive",
+    "ShardedArchive",
+    "TrajectoryArchive",
+    "ARCHIVE_BACKENDS",
+    "make_archive",
+    "convert_archive",
+    "save_archive",
+    "load_archive",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,18 +76,73 @@ class ArchivePoint:
     index: int
 
 
-class TrajectoryArchive:
-    """An indexed collection of historical trips.
+def _ref_key(ref: ArchivePoint) -> Tuple[int, int]:
+    return (ref.traj_id, ref.index)
 
-    Build with :meth:`add` / :meth:`from_trips`, or run the full
-    preprocessing pipeline over raw logs with :meth:`from_raw_logs`.  The
-    point R-tree is built lazily on first spatial query and invalidated on
-    mutation.
+
+def _group_refs(refs: Sequence[ArchivePoint]) -> Dict[int, List[int]]:
+    """Canonically-ordered hits (see module docstring) to a near-map."""
+    hits: Dict[int, List[int]] = {}
+    for ref in refs:
+        hits.setdefault(ref.traj_id, []).append(ref.index)
+    return hits
+
+
+@runtime_checkable
+class ArchiveBackend(Protocol):
+    """The archive surface the online system is written against.
+
+    Implementations must return *canonically ordered* results: point hits
+    sorted by ``(traj_id, index)`` and near-maps with ascending trajectory
+    ids, each mapped to its sorted observation indices.  The ordering is
+    what makes backends interchangeable bit-for-bit — downstream stages
+    (reference assembly, scoring, K-GRI) see identical inputs whichever
+    backend served the range queries.
+    """
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, traj_id: int) -> bool: ...
+
+    @property
+    def num_points(self) -> int: ...
+
+    def add(self, trajectory: Trajectory) -> int: ...
+
+    def remove(self, traj_id: int) -> bool: ...
+
+    def trajectory_ids(self) -> List[int]: ...
+
+    def trajectory(self, traj_id: int) -> Trajectory: ...
+
+    def trajectories(self) -> Iterable[Trajectory]: ...
+
+    def point(self, ref: ArchivePoint) -> GPSPoint: ...
+
+    def points_near(self, q: Point, radius: float) -> List[ArchivePoint]: ...
+
+    def points_in_bbox(self, region: BBox) -> List[ArchivePoint]: ...
+
+    def trajectories_near(self, q: Point, radius: float) -> Dict[int, List[int]]: ...
+
+    def trajectories_near_pair(
+        self, qi: Point, qi1: Point, radius: float
+    ) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]: ...
+
+    def density_per_km2(self, region: BBox) -> float: ...
+
+
+class _ArchiveBase:
+    """Shared trip store and derived queries of every archive backend.
+
+    Subclasses supply the spatial substrate through three hooks:
+    :meth:`_search_circles` (batched circular range queries returning
+    canonically sorted hits), :meth:`points_in_bbox`, and the mutation
+    notifications :meth:`_on_add` / :meth:`_on_remove`.
     """
 
     def __init__(self) -> None:
         self._trajectories: Dict[int, Trajectory] = {}
-        self._index: Optional[RTree[ArchivePoint]] = None
         self._next_id = 0
 
     # ---------------------------------------------------------------- builder
@@ -48,8 +151,9 @@ class TrajectoryArchive:
         """Add a trip, re-identifying it; returns the assigned id."""
         new_id = self._next_id
         self._next_id += 1
-        self._trajectories[new_id] = Trajectory(new_id, trajectory.points)
-        self._index = None
+        traj = Trajectory(new_id, trajectory.points)
+        self._trajectories[new_id] = traj
+        self._on_add(traj)
         return new_id
 
     def remove(self, traj_id: int) -> bool:
@@ -58,15 +162,28 @@ class TrajectoryArchive:
         Returns:
             True if the trip existed.
         """
-        if traj_id not in self._trajectories:
+        traj = self._trajectories.pop(traj_id, None)
+        if traj is None:
             return False
-        del self._trajectories[traj_id]
-        self._index = None
+        self._on_remove(traj)
         return True
 
+    def _restore(self, trajectory: Trajectory) -> None:
+        """Re-insert a trip under its existing id (persistence/conversion).
+
+        Raises:
+            ValueError: If the id is already taken.
+        """
+        tid = trajectory.traj_id
+        if tid in self._trajectories:
+            raise ValueError(f"trajectory id {tid} already present")
+        self._trajectories[tid] = trajectory
+        self._next_id = max(self._next_id, tid + 1)
+        self._on_add(trajectory)
+
     @classmethod
-    def from_trips(cls, trips: Iterable[Trajectory]) -> "TrajectoryArchive":
-        archive = cls()
+    def from_trips(cls, trips: Iterable[Trajectory], **kwargs) -> "_ArchiveBase":
+        archive = cls(**kwargs)
         for t in trips:
             archive.add(t)
         return archive
@@ -79,13 +196,14 @@ class TrajectoryArchive:
         stay_time: float = 20.0 * 60.0,
         max_gap_s: float = 30.0 * 60.0,
         min_points: int = 2,
-    ) -> "TrajectoryArchive":
+        **kwargs,
+    ) -> "_ArchiveBase":
         """Preprocess raw multi-trip GPS logs: trip partition then indexing.
 
         This is the "Trip Partition" box of the paper's Fig. 2 applied to
         every log, with each resulting trip stored as its own archive entry.
         """
-        archive = cls()
+        archive = cls(**kwargs)
         for log in logs:
             for trip in partition_trips(
                 log, stay_distance, stay_time, max_gap_s, min_points
@@ -105,6 +223,10 @@ class TrajectoryArchive:
     def num_points(self) -> int:
         return sum(len(t) for t in self._trajectories.values())
 
+    def trajectory_ids(self) -> List[int]:
+        """All trip ids, ascending."""
+        return sorted(self._trajectories)
+
     def trajectory(self, traj_id: int) -> Trajectory:
         return self._trajectories[traj_id]
 
@@ -114,31 +236,22 @@ class TrajectoryArchive:
     def point(self, ref: ArchivePoint) -> GPSPoint:
         return self._trajectories[ref.traj_id].points[ref.index]
 
-    # ---------------------------------------------------------------- queries
+    def iter_points(self) -> Iterator[Tuple[ArchivePoint, GPSPoint]]:
+        """Every observation in the archive, tagged with its reference."""
+        for tid, traj in self._trajectories.items():
+            for i, p in enumerate(traj.points):
+                yield ArchivePoint(tid, i), p
 
-    def _ensure_index(self) -> RTree[ArchivePoint]:
-        if self._index is None:
-            entries = []
-            for tid, traj in self._trajectories.items():
-                for i, p in enumerate(traj.points):
-                    entries.append((BBox.from_point(p.point), ArchivePoint(tid, i)))
-            self._index = RTree.bulk_load(entries, max_entries=32)
-        return self._index
+    # ---------------------------------------------------------------- queries
 
     def points_near(self, q: Point, radius: float) -> List[ArchivePoint]:
         """All archive observations within ``radius`` of ``q``."""
-        index = self._ensure_index()
-        return index.search_radius(q, radius, position=lambda ref: self.point(ref).point)
+        return self._search_circles([(q, radius)])[0]
 
     def trajectories_near(self, q: Point, radius: float) -> Dict[int, List[int]]:
         """Trajectory ids with at least one observation within ``radius``,
         mapped to the indices of those observations (sorted)."""
-        hits: Dict[int, List[int]] = {}
-        for ref in self.points_near(q, radius):
-            hits.setdefault(ref.traj_id, []).append(ref.index)
-        for indices in hits.values():
-            indices.sort()
-        return hits
+        return _group_refs(self.points_near(q, radius))
 
     def trajectories_near_pair(
         self, qi: Point, qi1: Point, radius: float
@@ -146,32 +259,438 @@ class TrajectoryArchive:
         """:meth:`trajectories_near` around both points of a query pair.
 
         The reference search needs the φ-neighbourhoods of ``q_i`` and
-        ``q_{i+1}`` together; this issues both range queries in a single
-        R-tree walk (:meth:`~repro.spatial.rtree.RTree.search_radius_many`)
-        instead of two independent traversals that re-descend the shared
-        upper levels.
+        ``q_{i+1}`` together; backends serve both range queries in one
+        index pass (a single R-tree walk for the monolithic backend, one
+        visit per overlapping tile for the sharded one).
 
         Returns:
             ``(near_i, near_j)`` — trajectory id to sorted observation
             indices, one map per query point.
         """
-        index = self._ensure_index()
-        hits_i, hits_j = index.search_radius_many(
-            [(qi, radius), (qi1, radius)],
-            position=lambda ref: self.point(ref).point,
-        )
-        out: Tuple[Dict[int, List[int]], Dict[int, List[int]]] = ({}, {})
-        for side, refs in zip(out, (hits_i, hits_j)):
-            for ref in refs:
-                side.setdefault(ref.traj_id, []).append(ref.index)
-            for indices in side.values():
-                indices.sort()
-        return out
+        hits_i, hits_j = self._search_circles([(qi, radius), (qi1, radius)])
+        return _group_refs(hits_i), _group_refs(hits_j)
 
     def density_per_km2(self, region: BBox) -> float:
         """Archive observations per km² inside ``region``."""
         if region.area == 0.0:
             return 0.0
+        return len(self.points_in_bbox(region)) / (region.area / 1_000_000.0)
+
+    # ------------------------------------------------------------------ hooks
+
+    def _on_add(self, trajectory: Trajectory) -> None:
+        raise NotImplementedError
+
+    def _on_remove(self, trajectory: Trajectory) -> None:
+        raise NotImplementedError
+
+    def _search_circles(
+        self, queries: Sequence[Tuple[Point, float]]
+    ) -> List[List[ArchivePoint]]:
+        raise NotImplementedError
+
+    def points_in_bbox(self, region: BBox) -> List[ArchivePoint]:
+        """All observations inside ``region``, canonically ordered."""
+        raise NotImplementedError
+
+
+class InMemoryArchive(_ArchiveBase):
+    """The monolithic backend: one R-tree over every archive point.
+
+    The index is built lazily (STR bulk load) on the first spatial query.
+    Once built it is maintained *incrementally*: :meth:`add` inserts the
+    new trip's points and :meth:`remove` deletes them, so steady-state
+    mutations cost ``O(points · log n)`` instead of a full rebuild.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._index: Optional[RTree[ArchivePoint]] = None
+
+    # ------------------------------------------------------------------ hooks
+
+    def _on_add(self, trajectory: Trajectory) -> None:
+        if self._index is None:
+            return
+        for i, p in enumerate(trajectory.points):
+            self._index.insert_point(p.point, ArchivePoint(trajectory.traj_id, i))
+
+    def _on_remove(self, trajectory: Trajectory) -> None:
+        if self._index is None:
+            return
+        for i, p in enumerate(trajectory.points):
+            self._index.remove_point(p.point, ArchivePoint(trajectory.traj_id, i))
+
+    def _ensure_index(self) -> RTree[ArchivePoint]:
+        if self._index is None:
+            entries = [
+                (BBox.from_point(p.point), ref) for ref, p in self.iter_points()
+            ]
+            self._index = RTree.bulk_load(entries, max_entries=32)
+        return self._index
+
+    def _search_circles(
+        self, queries: Sequence[Tuple[Point, float]]
+    ) -> List[List[ArchivePoint]]:
         index = self._ensure_index()
-        count = len(index.search_bbox(region))
-        return count / (region.area / 1_000_000.0)
+        hits = index.search_radius_many(
+            queries, position=lambda ref: self.point(ref).point
+        )
+        return [sorted(h, key=_ref_key) for h in hits]
+
+    def points_in_bbox(self, region: BBox) -> List[ArchivePoint]:
+        return sorted(self._ensure_index().search_bbox(region), key=_ref_key)
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def resident_points(self) -> int:
+        """Observations currently held by a materialised spatial index."""
+        return self.num_points if self._index is not None else 0
+
+    @property
+    def resident_tiles(self) -> int:
+        return 1 if self._index is not None else 0
+
+    @property
+    def total_tiles(self) -> int:
+        return 1
+
+    def index_nbytes(self) -> int:
+        """Approximate bytes held by the materialised R-tree (0 if lazy)."""
+        return self._index.approx_nbytes() if self._index is not None else 0
+
+
+#: Historical name of the single-R-tree archive, kept as the default
+#: backend so existing code (and the seed test suite) keeps working.
+TrajectoryArchive = InMemoryArchive
+
+
+class ShardedArchive(_ArchiveBase):
+    """Spatially tiled backend: one lazily built R-tree per occupied tile.
+
+    Points are binned into square tiles of ``tile_size`` metres by
+    ``floor(coord / tile_size)``, so every observation belongs to exactly
+    one tile.  A range query is routed only to the tiles its bounding box
+    overlaps; per-tile hits are merged, de-duplicated and canonically
+    sorted, which makes the answer bit-identical to
+    :class:`InMemoryArchive` on the same trips.
+
+    The tile *assignment* (which refs live in which tile) is built in one
+    pass on first use; each tile's R-tree is materialised only when a
+    query first touches it.  A fork-pool batch worker therefore holds
+    indexes only for the tiles its own queries visit — the point of the
+    sharding (see :meth:`prepare_for_fork`).
+    """
+
+    DEFAULT_TILE_SIZE = 1_000.0
+
+    def __init__(self, tile_size: float = DEFAULT_TILE_SIZE) -> None:
+        if tile_size <= 0.0:
+            raise ValueError("tile_size must be positive")
+        super().__init__()
+        self._tile_size = float(tile_size)
+        self._assignment: Optional[Dict[Tuple[int, int], List[ArchivePoint]]] = None
+        self._shards: Dict[Tuple[int, int], RTree[ArchivePoint]] = {}
+
+    @property
+    def tile_size(self) -> float:
+        return self._tile_size
+
+    def tile_key(self, p: Point) -> Tuple[int, int]:
+        """The tile containing ``p``."""
+        return (
+            math.floor(p.x / self._tile_size),
+            math.floor(p.y / self._tile_size),
+        )
+
+    # ------------------------------------------------------------------ hooks
+
+    def _on_add(self, trajectory: Trajectory) -> None:
+        if self._assignment is None:
+            return
+        for i, p in enumerate(trajectory.points):
+            key = self.tile_key(p.point)
+            ref = ArchivePoint(trajectory.traj_id, i)
+            self._assignment.setdefault(key, []).append(ref)
+            shard = self._shards.get(key)
+            if shard is not None:
+                shard.insert_point(p.point, ref)
+
+    def _on_remove(self, trajectory: Trajectory) -> None:
+        if self._assignment is None:
+            return
+        for i, p in enumerate(trajectory.points):
+            key = self.tile_key(p.point)
+            ref = ArchivePoint(trajectory.traj_id, i)
+            refs = self._assignment.get(key)
+            if refs is not None:
+                refs.remove(ref)
+                if not refs:
+                    del self._assignment[key]
+            shard = self._shards.get(key)
+            if shard is not None:
+                shard.remove_point(p.point, ref)
+                if len(shard) == 0:
+                    del self._shards[key]
+
+    # ----------------------------------------------------------- tile routing
+
+    def _ensure_assignment(self) -> Dict[Tuple[int, int], List[ArchivePoint]]:
+        if self._assignment is None:
+            assignment: Dict[Tuple[int, int], List[ArchivePoint]] = {}
+            for ref, p in self.iter_points():
+                assignment.setdefault(self.tile_key(p.point), []).append(ref)
+            self._assignment = assignment
+        return self._assignment
+
+    def _shard(self, key: Tuple[int, int]) -> RTree[ArchivePoint]:
+        tree = self._shards.get(key)
+        if tree is None:
+            assert self._assignment is not None
+            entries = [
+                (BBox.from_point(self.point(ref).point), ref)
+                for ref in self._assignment[key]
+            ]
+            tree = RTree.bulk_load(entries, max_entries=32)
+            self._shards[key] = tree
+        return tree
+
+    def _tiles_overlapping(self, box: BBox) -> List[Tuple[int, int]]:
+        """Occupied tiles whose square intersects ``box``."""
+        assignment = self._ensure_assignment()
+        ix0 = math.floor(box.min_x / self._tile_size)
+        ix1 = math.floor(box.max_x / self._tile_size)
+        iy0 = math.floor(box.min_y / self._tile_size)
+        iy1 = math.floor(box.max_y / self._tile_size)
+        span = (ix1 - ix0 + 1) * (iy1 - iy0 + 1)
+        if span <= len(assignment):
+            return [
+                (ix, iy)
+                for ix in range(ix0, ix1 + 1)
+                for iy in range(iy0, iy1 + 1)
+                if (ix, iy) in assignment
+            ]
+        return [
+            key
+            for key in assignment
+            if ix0 <= key[0] <= ix1 and iy0 <= key[1] <= iy1
+        ]
+
+    def _search_circles(
+        self, queries: Sequence[Tuple[Point, float]]
+    ) -> List[List[ArchivePoint]]:
+        out: List[List[ArchivePoint]] = [[] for __ in queries]
+        if not queries:
+            return out
+        boxes = [BBox.around(center, radius) for center, radius in queries]
+        per_tile: Dict[Tuple[int, int], List[int]] = {}
+        for qi, box in enumerate(boxes):
+            for key in self._tiles_overlapping(box):
+                per_tile.setdefault(key, []).append(qi)
+        for key, circle_ids in per_tile.items():
+            tree = self._shard(key)
+            sub = tree.search_radius_many(
+                [queries[qi] for qi in circle_ids],
+                position=lambda ref: self.point(ref).point,
+            )
+            for qi, hits in zip(circle_ids, sub):
+                out[qi].extend(hits)
+        # Each point lives in exactly one tile, so the merge is disjoint;
+        # the set() is defensive, the sort restores the canonical order.
+        return [sorted(set(h), key=_ref_key) for h in out]
+
+    def points_in_bbox(self, region: BBox) -> List[ArchivePoint]:
+        refs: List[ArchivePoint] = []
+        for key in self._tiles_overlapping(region):
+            refs.extend(self._shard(key).search_bbox(region))
+        return sorted(set(refs), key=_ref_key)
+
+    # -------------------------------------------------------- fork/accounting
+
+    def prepare_for_fork(self) -> None:
+        """Build the tile assignment (cheap, one pass) without any R-tree.
+
+        Called by :meth:`~repro.core.system.HRIS.infer_routes_batch` right
+        before the worker pool forks: every worker then shares the binning
+        via copy-on-write and materialises per-tile indexes only for the
+        tiles its own queries touch.
+        """
+        self._ensure_assignment()
+
+    @property
+    def resident_points(self) -> int:
+        """Observations held by materialised per-tile R-trees."""
+        return sum(len(tree) for tree in self._shards.values())
+
+    @property
+    def resident_tiles(self) -> int:
+        """Tiles whose R-tree has been materialised."""
+        return len(self._shards)
+
+    @property
+    def total_tiles(self) -> int:
+        """Occupied tiles (assignment is built on demand to count them)."""
+        return len(self._ensure_assignment())
+
+    def index_nbytes(self) -> int:
+        """Approximate bytes held by materialised per-tile R-trees.
+
+        The tile assignment is excluded: it is built once pre-fork and
+        shared copy-on-write across batch workers, whereas the per-tile
+        trees are each worker's private resident set.
+        """
+        return sum(tree.approx_nbytes() for tree in self._shards.values())
+
+
+#: Backend registry: CLI/IO name -> constructor accepting ``tile_size``.
+ARCHIVE_BACKENDS = ("memory", "sharded")
+
+
+def make_archive(
+    backend: str = "memory", tile_size: Optional[float] = None
+) -> _ArchiveBase:
+    """Construct an empty archive of the requested backend.
+
+    Args:
+        backend: ``"memory"`` (single R-tree) or ``"sharded"`` (tiled).
+        tile_size: Tile side in metres for the sharded backend (defaults
+            to :attr:`ShardedArchive.DEFAULT_TILE_SIZE`); ignored for
+            ``"memory"``.
+
+    Raises:
+        ValueError: On an unknown backend name.
+    """
+    if backend == "memory":
+        return InMemoryArchive()
+    if backend == "sharded":
+        return ShardedArchive(
+            tile_size if tile_size is not None else ShardedArchive.DEFAULT_TILE_SIZE
+        )
+    raise ValueError(
+        f"unknown archive backend {backend!r}; expected one of {ARCHIVE_BACKENDS}"
+    )
+
+
+def convert_archive(
+    source: _ArchiveBase, backend: str, tile_size: Optional[float] = None
+) -> _ArchiveBase:
+    """Rebuild ``source`` under another backend, *preserving trip ids*.
+
+    Identical ids mean identical reference search output (references carry
+    ``source_ids``), so a converted archive is a drop-in replacement.
+    """
+    out = make_archive(backend, tile_size)
+    for tid in sorted(source._trajectories):
+        out._restore(source._trajectories[tid])
+    out._next_id = max(out._next_id, source._next_id)
+    return out
+
+
+# ------------------------------------------------------------------ persistence
+
+_MANIFEST_FILE = "manifest.json"
+_TRIPS_FILE = "trips.jsonl"
+_TILES_FILE = "tiles.json"
+_ARCHIVE_FORMAT = "repro-archive-v1"
+
+
+def save_archive(archive: _ArchiveBase, directory: Union[str, Path]) -> Path:
+    """Persist an archive (trips + index metadata) to a directory.
+
+    Layout::
+
+        manifest.json   backend, counters, tile size
+        trips.jsonl     one trajectory per line (ids preserved)
+        tiles.json      tile -> [[traj_id, index], ...]   (sharded only)
+
+    The tile file is the *persistent spatial index*: reloading a sharded
+    archive restores the binning without re-scanning every observation.
+
+    Returns:
+        The directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    trips = [archive._trajectories[tid] for tid in sorted(archive._trajectories)]
+    save_trajectories(trips, directory / _TRIPS_FILE)
+    manifest: Dict[str, object] = {
+        "format": _ARCHIVE_FORMAT,
+        "backend": "sharded" if isinstance(archive, ShardedArchive) else "memory",
+        "next_id": archive._next_id,
+        "n_trajectories": len(archive),
+        "n_points": archive.num_points,
+    }
+    if isinstance(archive, ShardedArchive):
+        manifest["tile_size"] = archive.tile_size
+        assignment = archive._ensure_assignment()
+        tiles = {
+            f"{ix},{iy}": [[ref.traj_id, ref.index] for ref in refs]
+            for (ix, iy), refs in sorted(assignment.items())
+        }
+        with open(directory / _TILES_FILE, "w", encoding="utf-8") as f:
+            json.dump(tiles, f)
+    with open(directory / _MANIFEST_FILE, "w", encoding="utf-8") as f:
+        json.dump(manifest, f, indent=2)
+    return directory
+
+
+def load_archive(
+    directory: Union[str, Path],
+    backend: Optional[str] = None,
+    tile_size: Optional[float] = None,
+) -> _ArchiveBase:
+    """Reload an archive saved by :func:`save_archive`.
+
+    Args:
+        directory: The archive directory.
+        backend: Override the saved backend (``None`` keeps it).
+        tile_size: Override the saved tile size (``None`` keeps it).  The
+            persisted tile index is reused only when the effective backend
+            and tile size match the saved ones; otherwise points are
+            re-binned lazily.
+
+    Raises:
+        FileNotFoundError: If the directory or an artefact is missing.
+        ValueError: On format mismatches or corrupt tile indexes.
+    """
+    directory = Path(directory)
+    with open(directory / _MANIFEST_FILE, "r", encoding="utf-8") as f:
+        manifest = json.load(f)
+    if manifest.get("format") != _ARCHIVE_FORMAT:
+        raise ValueError(f"unknown archive format: {manifest.get('format')!r}")
+
+    saved_backend = manifest.get("backend", "memory")
+    effective_backend = backend if backend is not None else saved_backend
+    saved_tile = manifest.get("tile_size")
+    effective_tile = tile_size if tile_size is not None else saved_tile
+
+    archive = make_archive(effective_backend, effective_tile)
+    for traj in iter_trajectories(directory / _TRIPS_FILE):
+        archive._restore(traj)
+    archive._next_id = max(archive._next_id, int(manifest.get("next_id", 0)))
+    if len(archive) != int(manifest.get("n_trajectories", len(archive))):
+        raise ValueError("archive manifest/trip count mismatch")
+
+    tiles_path = directory / _TILES_FILE
+    if (
+        isinstance(archive, ShardedArchive)
+        and effective_backend == saved_backend
+        and saved_tile is not None
+        and archive.tile_size == float(saved_tile)
+        and tiles_path.exists()
+    ):
+        with open(tiles_path, "r", encoding="utf-8") as f:
+            raw = json.load(f)
+        assignment: Dict[Tuple[int, int], List[ArchivePoint]] = {}
+        total = 0
+        for key, refs in raw.items():
+            ix, iy = (int(v) for v in key.split(","))
+            assignment[(ix, iy)] = [
+                ArchivePoint(int(tid), int(idx)) for tid, idx in refs
+            ]
+            total += len(refs)
+        if total != archive.num_points:
+            raise ValueError("persisted tile index does not cover the archive")
+        archive._assignment = assignment
+    return archive

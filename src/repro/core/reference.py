@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.archive import TrajectoryArchive
+from repro.core.archive import ArchiveBackend
 from repro.geo.point import Point
 from repro.roadnet.network import RoadNetwork
 from repro.spatial.grid import GridIndex
@@ -174,7 +174,7 @@ class ReferenceSearch:
 
     def __init__(
         self,
-        archive: TrajectoryArchive,
+        archive: ArchiveBackend,
         network: RoadNetwork,
         config: ReferenceSearchConfig = ReferenceSearchConfig(),
     ) -> None:

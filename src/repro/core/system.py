@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.archive import TrajectoryArchive
+from repro.core.archive import ArchiveBackend
 from repro.core.hybrid import HybridConfig, HybridInference, reference_density_per_km2
 from repro.core.kgri import GlobalRoute, k_gri
 from repro.core.nni import NearestNeighborInference, NNIConfig
@@ -40,6 +40,7 @@ from repro.geo.point import Point
 from repro.mapmatching.base import MapMatcher, MatchResult
 from repro.roadnet.engine import EngineConfig, EngineStats, RoutingEngine
 from repro.roadnet.network import RoadNetwork
+from repro.roadnet.shortest_path import LandmarkIndex
 from repro.roadnet.route import Route
 from repro.trajectory.model import Trajectory
 
@@ -203,18 +204,34 @@ class InferenceDetail:
 
 
 class HRIS:
-    """History-based Route Inference System."""
+    """History-based Route Inference System.
+
+    Args:
+        network: The road network.
+        archive: Any :class:`~repro.core.archive.ArchiveBackend` — the
+            monolithic :class:`~repro.core.archive.InMemoryArchive` or the
+            tiled :class:`~repro.core.archive.ShardedArchive`; inference
+            results are identical whichever backend serves the reference
+            range queries.
+        config: System tunables (Table II).
+        landmark_index: Optional prebuilt/persisted ALT landmark index;
+            when given (and ``config.n_landmarks > 0``) the engine reuses
+            it instead of rebuilding the tables at construction time.
+    """
 
     def __init__(
         self,
         network: RoadNetwork,
-        archive: TrajectoryArchive,
+        archive: ArchiveBackend,
         config: HRISConfig = HRISConfig(),
+        landmark_index: Optional["LandmarkIndex"] = None,
     ) -> None:
         self._network = network
         self._archive = archive
         self._config = config
-        self._engine = RoutingEngine(network, config.engine_config())
+        self._engine = RoutingEngine(
+            network, config.engine_config(), landmarks=landmark_index
+        )
         self._reference_search = ReferenceSearch(
             archive, network, config.reference_config()
         )
@@ -237,6 +254,11 @@ class HRIS:
     @property
     def network(self) -> RoadNetwork:
         return self._network
+
+    @property
+    def archive(self) -> ArchiveBackend:
+        """The historical archive backend this instance serves from."""
+        return self._archive
 
     @property
     def engine(self) -> RoutingEngine:
@@ -336,6 +358,13 @@ class HRIS:
         global _BATCH_STATE
         if chunksize is None:
             chunksize = max(1, math.ceil(len(queries) / workers))
+        # Sharded archives: bin points into tiles *before* forking (cheap,
+        # no R-trees), so workers share the assignment copy-on-write and
+        # each materialises per-tile indexes only for the tiles its own
+        # chunk of queries touches.
+        prepare = getattr(self._archive, "prepare_for_fork", None)
+        if prepare is not None:
+            prepare()
         _BATCH_STATE = (self, k, queries)
         try:
             with ctx.Pool(processes=workers) as pool:

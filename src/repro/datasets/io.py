@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
-from repro.core.archive import TrajectoryArchive
+from repro.core.archive import make_archive
 from repro.datasets.synthetic import QueryCase, Scenario, ScenarioConfig
 from repro.roadnet.io import load_network, save_network
 from repro.roadnet.route import Route
@@ -49,18 +49,30 @@ def save_scenario(scenario: Scenario, directory: Union[str, Path]) -> Path:
     return directory
 
 
-def load_scenario(directory: Union[str, Path]) -> Scenario:
+def load_scenario(
+    directory: Union[str, Path],
+    archive_backend: str = "memory",
+    tile_size: Optional[float] = None,
+) -> Scenario:
     """Read a scenario saved by :func:`save_scenario`.
+
+    Args:
+        directory: The scenario directory.
+        archive_backend: Spatial backend the archive is loaded into —
+            ``"memory"`` (one R-tree, the default) or ``"sharded"``
+            (tiled, see :class:`~repro.core.archive.ShardedArchive`).
+            Query results are identical either way.
+        tile_size: Tile side in metres for the sharded backend.
 
     Raises:
         FileNotFoundError: If any artefact is missing.
-        ValueError: On format mismatches.
+        ValueError: On format mismatches or an unknown backend.
     """
     directory = Path(directory)
     network = load_network(directory / _NETWORK_FILE)
-    archive = TrajectoryArchive.from_trips(
-        load_trajectories(directory / _ARCHIVE_FILE)
-    )
+    archive = make_archive(archive_backend, tile_size)
+    for trip in load_trajectories(directory / _ARCHIVE_FILE):
+        archive.add(trip)
     with open(directory / _QUERIES_FILE, "r", encoding="utf-8") as f:
         payload = json.load(f)
     if payload.get("format") != "repro-queries-v1":

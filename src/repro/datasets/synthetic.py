@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.archive import TrajectoryArchive
+from repro.core.archive import ArchiveBackend, TrajectoryArchive
 from repro.roadnet.generators import GridCityConfig, grid_city
 from repro.roadnet.network import RoadNetwork
 from repro.roadnet.route import Route
@@ -104,7 +104,7 @@ class Scenario:
     """A fully built evaluation world."""
 
     network: RoadNetwork
-    archive: TrajectoryArchive
+    archive: ArchiveBackend
     od_routes: List[List[Route]]
     route_probabilities: List[np.ndarray]
     queries: List[QueryCase]
@@ -320,7 +320,7 @@ class LengthScenario:
     """A world with query cases grouped by target route length (Fig. 8b)."""
 
     network: RoadNetwork
-    archive: TrajectoryArchive
+    archive: ArchiveBackend
     cases_by_length: dict
 
 

@@ -8,9 +8,10 @@ evaluation loops, and standard scenario constructions.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +30,7 @@ __all__ = [
     "standard_scenario",
     "sparse_scenario",
     "density_scenario",
+    "with_archive_backend",
 ]
 
 
@@ -171,13 +173,35 @@ def evaluate_accuracy_batch(
     return float(np.mean(accs)), elapsed
 
 
-def standard_scenario(seed: int = 7, n_queries: int = 10) -> Scenario:
+def with_archive_backend(
+    scenario: Scenario, backend: str, tile_size: Optional[float] = None
+) -> Scenario:
+    """The same scenario with its archive rebuilt under another backend.
+
+    Trip ids are preserved, so every evaluation over the returned scenario
+    yields bit-identical routes and accuracies — only the spatial index
+    layout (and hence the per-worker resident set) changes.
+    """
+    from repro.core.archive import convert_archive
+
+    return dataclasses.replace(
+        scenario, archive=convert_archive(scenario.archive, backend, tile_size)
+    )
+
+
+def standard_scenario(
+    seed: int = 7,
+    n_queries: int = 10,
+    archive_backend: str = "memory",
+    tile_size: Optional[float] = None,
+) -> Scenario:
     """The default evaluation world used by most figures.
 
     A 14x14 grid city (6.5 km across) with 8 OD corridors, 240 demand
-    trips at mixed sampling intervals plus background noise.
+    trips at mixed sampling intervals plus background noise.  The archive
+    is served by ``archive_backend`` (results are backend-independent).
     """
-    return build_scenario(
+    scenario = build_scenario(
         ScenarioConfig(
             grid=GridCityConfig(nx=14, ny=14),
             n_od_pairs=8,
@@ -187,6 +211,9 @@ def standard_scenario(seed: int = 7, n_queries: int = 10) -> Scenario:
             seed=seed,
         )
     )
+    if archive_backend != "memory":
+        scenario = with_archive_backend(scenario, archive_backend, tile_size)
+    return scenario
 
 
 def sparse_scenario(seed: int = 13, n_queries: int = 8) -> Scenario:

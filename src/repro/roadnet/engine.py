@@ -115,14 +115,21 @@ class RoutingEngine:
         self,
         network: RoadNetwork,
         config: EngineConfig = EngineConfig(),
+        landmarks: Optional[LandmarkIndex] = None,
     ) -> None:
+        """Args:
+            landmarks: Optional prebuilt (e.g. persisted and reloaded)
+                landmark index to reuse.  Ignored when
+                ``config.n_landmarks == 0`` — that explicitly disables ALT.
+        """
         self._network = network
         self._config = config
-        self._landmarks: Optional[LandmarkIndex] = (
-            LandmarkIndex.build(network, config.n_landmarks)
-            if config.n_landmarks > 0
-            else None
-        )
+        if config.n_landmarks <= 0:
+            self._landmarks = None
+        elif landmarks is not None:
+            self._landmarks = landmarks
+        else:
+            self._landmarks = LandmarkIndex.build(network, config.n_landmarks)
         self._route_cache: "LRUCache[Tuple[int, int], Tuple[float, Route]]" = LRUCache(
             config.route_cache_size
         )

@@ -191,6 +191,9 @@ class RoadNetwork:
     def has_segment(self, segment_id: int) -> bool:
         return segment_id in self._segments
 
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
     def nodes(self) -> Iterable[RoadNode]:
         return self._nodes.values()
 

@@ -290,6 +290,16 @@ class LandmarkIndex:
     def landmarks(self) -> Tuple[int, ...]:
         return self._landmarks
 
+    @property
+    def forward_tables(self) -> Tuple[Dict[int, float], ...]:
+        """Per-landmark forward distance tables ``d(L, ·)`` (read-only use)."""
+        return self._forward
+
+    @property
+    def backward_tables(self) -> Tuple[Dict[int, float], ...]:
+        """Per-landmark backward distance tables ``d(·, L)`` (read-only use)."""
+        return self._backward
+
     def __len__(self) -> int:
         return len(self._landmarks)
 

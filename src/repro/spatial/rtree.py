@@ -553,6 +553,32 @@ class RTree(Generic[T]):
                 results.append((dist, entry.item))
         return results
 
+    def approx_nbytes(self) -> int:
+        """Approximate resident size of the index structure, in bytes.
+
+        Walks nodes, child lists, entries and their boxes with
+        ``sys.getsizeof``; the indexed *items* themselves are not counted
+        (they are owned by the caller and typically shared).  Used by the
+        archive layer to report per-worker resident index size.
+        """
+        import sys as _sys
+
+        total = _sys.getsizeof(self)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += _sys.getsizeof(node)
+            if node.bbox is not None:
+                total += _sys.getsizeof(node.bbox)
+            if node.leaf:
+                total += _sys.getsizeof(node.entries)
+                for e in node.entries:
+                    total += _sys.getsizeof(e) + _sys.getsizeof(e.bbox)
+            else:
+                total += _sys.getsizeof(node.children)
+                stack.extend(node.children)
+        return total
+
     def items(self) -> Iterator[Tuple[BBox, T]]:
         """Iterate over all ``(bbox, item)`` pairs in the tree."""
         stack = [self._root]

@@ -100,6 +100,50 @@ class TestQueries:
         assert a.density_per_km2(BBox(0, 0, 0, 10)) == 0.0
 
 
+class TestIncrementalIndex:
+    """Mutations after the first query must update the R-tree in place."""
+
+    def test_add_inserts_into_existing_index(self):
+        a = TrajectoryArchive()
+        a.add(traj([(0, 0), (10, 0)]))
+        assert len(a.points_near(Point(0, 0), 50.0)) == 2
+        index_before = a._index
+        assert index_before is not None
+        a.add(traj([(500, 0), (510, 0)]))
+        assert a._index is index_before  # no rebuild
+        assert len(a.points_near(Point(500, 0), 50.0)) == 2
+        assert len(a._index) == 4
+
+    def test_remove_deletes_from_existing_index(self):
+        a = TrajectoryArchive()
+        tid = a.add(traj([(0, 0), (10, 0)]))
+        a.add(traj([(500, 0), (510, 0)]))
+        assert len(a.points_near(Point(0, 0), 50.0)) == 2
+        index_before = a._index
+        assert a.remove(tid)
+        assert a._index is index_before  # condensed, not discarded
+        assert a.points_near(Point(0, 0), 50.0) == []
+        assert len(a._index) == 2
+
+    def test_mutation_before_first_query_stays_lazy(self):
+        a = TrajectoryArchive()
+        a.add(traj([(0, 0), (10, 0)]))
+        assert a._index is None  # no query yet — bulk load still pending
+
+
+class TestPointsInBBox:
+    def test_canonical_order_and_contents(self):
+        a = TrajectoryArchive()
+        a.add(traj([(0, 0), (900, 0)]))
+        a.add(traj([(100, 0), (5000, 5000)]))
+        refs = a.points_in_bbox(BBox(-10, -10, 1000, 10))
+        assert refs == [
+            ArchivePoint(0, 0),
+            ArchivePoint(0, 1),
+            ArchivePoint(1, 0),
+        ]
+
+
 class TestRemoval:
     def test_remove_existing(self):
         a = TrajectoryArchive()

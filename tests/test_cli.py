@@ -100,3 +100,52 @@ class TestCommands:
         assert code == 0
         assert "HRIS" in out
         assert "ST-matching" in out
+
+    def test_infer_sharded_backend_matches_memory(self, world_dir, capsys):
+        args = ["infer", "--world", str(world_dir), "--query", "0", "--interval", "240"]
+        def route_lines(text):
+            return [line for line in text.splitlines() if "log-score" in line]
+
+        assert main(args) == 0
+        out_memory = capsys.readouterr().out
+        assert main(args + ["--archive-backend", "sharded", "--tile-size", "700"]) == 0
+        out_sharded = capsys.readouterr().out
+        # Identical routes, scores and accuracies from both backends (the
+        # header line carries wall-clock time, so compare the route lines).
+        assert route_lines(out_sharded) == route_lines(out_memory)
+        assert route_lines(out_memory)
+
+    def test_infer_persists_and_reuses_landmarks(self, world_dir, capsys):
+        import json
+
+        args = ["infer", "--world", str(world_dir), "--query", "0"]
+        assert main(args) == 0
+        cache = world_dir / "landmarks.json"
+        assert cache.exists()
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro-landmarks-v1"
+        stamp = cache.stat().st_mtime_ns
+        capsys.readouterr()
+        assert main(args) == 0  # second run reuses the cache
+        assert cache.stat().st_mtime_ns == stamp
+
+    def test_infer_landmark_cache_opt_out(self, world_dir, tmp_path, capsys):
+        import shutil
+
+        world = tmp_path / "world-nocache"
+        shutil.copytree(world_dir, world)
+        (world / "landmarks.json").unlink(missing_ok=True)
+        assert (
+            main(
+                [
+                    "infer",
+                    "--world",
+                    str(world),
+                    "--query",
+                    "0",
+                    "--no-landmark-cache",
+                ]
+            )
+            == 0
+        )
+        assert not (world / "landmarks.json").exists()

@@ -1,15 +1,20 @@
-"""Round-trip tests for road-network serialisation."""
+"""Round-trip tests for road-network and landmark-index serialisation."""
 
 import numpy as np
 import pytest
 
 from repro.roadnet.generators import GridCityConfig, grid_city
 from repro.roadnet.io import (
+    landmarks_from_dict,
+    landmarks_to_dict,
+    load_landmarks,
     load_network,
     network_from_dict,
     network_to_dict,
+    save_landmarks,
     save_network,
 )
+from repro.roadnet.shortest_path import LandmarkIndex, shortest_route_between_nodes
 
 
 @pytest.fixture(scope="module")
@@ -46,3 +51,30 @@ class TestRoundTrip:
             assert sorted(restored.successors(seg.segment_id)) == sorted(
                 city.successors(seg.segment_id)
             )
+
+
+class TestLandmarkRoundTrip:
+    def test_dict_round_trip_exact(self, city):
+        index = LandmarkIndex.build(city, 4)
+        restored = landmarks_from_dict(landmarks_to_dict(index))
+        assert restored.landmarks == index.landmarks
+        assert restored.forward_tables == index.forward_tables
+        assert restored.backward_tables == index.backward_tables
+
+    def test_file_round_trip_routes_identical(self, city, tmp_path):
+        index = LandmarkIndex.build(city, 4)
+        path = tmp_path / "landmarks.json"
+        save_landmarks(index, path)
+        restored = load_landmarks(path)
+        # The reloaded tables must drive A* to the exact same routes.
+        node_ids = sorted(n.node_id for n in city.nodes())
+        pairs = [(node_ids[0], node_ids[-1]), (node_ids[3], node_ids[-5])]
+        for s, t in pairs:
+            d_a, r_a = shortest_route_between_nodes(city, s, t, landmarks=index)
+            d_b, r_b = shortest_route_between_nodes(city, s, t, landmarks=restored)
+            assert d_a == d_b
+            assert r_a.segment_ids == r_b.segment_ids
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown landmarks format"):
+            landmarks_from_dict({"format": "bogus"})

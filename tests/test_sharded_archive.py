@@ -1,0 +1,242 @@
+"""Shard-boundary correctness and persistence of the tiled archive layer.
+
+The contract under test: :class:`ShardedArchive` is a drop-in replacement
+for :class:`InMemoryArchive` — every query (`points_in_bbox`,
+`points_near`, `trajectories_near_pair`) returns *identical* results on
+identical trips, including trajectories straddling tile edges, and full
+HRIS inference is bit-identical whichever backend serves the reference
+search.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.archive import (
+    InMemoryArchive,
+    ShardedArchive,
+    convert_archive,
+    load_archive,
+    make_archive,
+    save_archive,
+)
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+from repro.trajectory.model import GPSPoint, Trajectory
+
+TILE = 500.0
+
+
+def random_archives(rng, n_trips=12, extent=4_000.0, tile=TILE):
+    """A matched (memory, sharded) archive pair of random trajectories.
+
+    Trajectories take long straight-ish strides (200–900 m), so most of
+    them cross several ``tile``-sized tiles — the boundary regime the
+    sharded backend must merge correctly.
+    """
+    mem, sh = InMemoryArchive(), ShardedArchive(tile_size=tile)
+    for __ in range(n_trips):
+        n = int(rng.integers(2, 12))
+        x, y = rng.uniform(0.0, extent, size=2)
+        pts = []
+        t = 0.0
+        for __ in range(n):
+            pts.append(GPSPoint(Point(x, y), t))
+            heading = rng.uniform(0.0, 2.0 * math.pi)
+            step = rng.uniform(200.0, 900.0)
+            x += step * math.cos(heading)
+            y += step * math.sin(heading)
+            t += 30.0
+        traj = Trajectory.build(0, pts)
+        mem.add(traj)
+        sh.add(traj)
+    return mem, sh
+
+
+def straddling_trajectory(tile=TILE):
+    """Points alternating across a tile edge, some exactly on it."""
+    pts = []
+    for i in range(8):
+        x = tile + (i % 2 * 2 - 1) * 10.0 * (i + 1)  # hops around x = tile
+        if i == 4:
+            x = tile  # exactly on the boundary
+        pts.append(GPSPoint(Point(x, 40.0 * i), 30.0 * i))
+    return Trajectory.build(0, pts)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomised_queries_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        mem, sh = random_archives(rng)
+        for __ in range(25):
+            q = Point(*rng.uniform(-500.0, 4_500.0, size=2))
+            radius = float(rng.uniform(50.0, 1_500.0))
+            assert mem.points_near(q, radius) == sh.points_near(q, radius)
+            x0, y0 = rng.uniform(-500.0, 4_000.0, size=2)
+            box = BBox(x0, y0, x0 + rng.uniform(10.0, 2_000.0), y0 + rng.uniform(10.0, 2_000.0))
+            assert mem.points_in_bbox(box) == sh.points_in_bbox(box)
+            assert mem.density_per_km2(box) == sh.density_per_km2(box)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomised_pair_queries_identical(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        mem, sh = random_archives(rng)
+        for __ in range(15):
+            qi = Point(*rng.uniform(0.0, 4_000.0, size=2))
+            qi1 = Point(*rng.uniform(0.0, 4_000.0, size=2))
+            radius = float(rng.uniform(100.0, 1_200.0))
+            assert mem.trajectories_near_pair(qi, qi1, radius) == sh.trajectories_near_pair(qi, qi1, radius)
+
+    def test_straddling_trajectory_and_boundary_queries(self):
+        mem, sh = InMemoryArchive(), ShardedArchive(tile_size=TILE)
+        traj = straddling_trajectory()
+        mem.add(traj)
+        sh.add(traj)
+        # Probe exactly on the tile edge, just inside, and just outside.
+        for x in (TILE, TILE - 1e-9, TILE + 1e-9, 0.0, 2.0 * TILE):
+            for radius in (0.0, 15.0, 120.0, 600.0):
+                q = Point(x, 100.0)
+                assert mem.points_near(q, radius) == sh.points_near(q, radius)
+        edge_box = BBox(TILE, 0.0, TILE, 300.0)  # zero-width box on the seam
+        assert mem.points_in_bbox(edge_box) == sh.points_in_bbox(edge_box)
+
+    def test_mutations_keep_backends_identical(self):
+        rng = np.random.default_rng(7)
+        mem, sh = random_archives(rng, n_trips=8)
+        probe = Point(2_000.0, 2_000.0)
+        # Warm both indexes, then mutate: adds and removes must be visible
+        # without a rebuild and keep the backends aligned.
+        assert mem.points_near(probe, 1_000.0) == sh.points_near(probe, 1_000.0)
+        extra = straddling_trajectory()
+        assert mem.add(extra) == sh.add(extra)
+        victim = mem.trajectory_ids()[0]
+        assert mem.remove(victim) and sh.remove(victim)
+        for radius in (200.0, 800.0, 3_000.0):
+            assert mem.points_near(probe, radius) == sh.points_near(probe, radius)
+        assert mem.num_points == sh.num_points
+
+    def test_convert_preserves_ids_and_results(self):
+        rng = np.random.default_rng(11)
+        mem, __ = random_archives(rng)
+        mem.remove(mem.trajectory_ids()[2])  # leave an id gap
+        sh = convert_archive(mem, "sharded", TILE)
+        assert sh.trajectory_ids() == mem.trajectory_ids()
+        q = Point(1_500.0, 1_500.0)
+        assert mem.trajectories_near(q, 2_000.0) == sh.trajectories_near(q, 2_000.0)
+        # A later add must not collide with a pre-conversion id.
+        new_id = sh.add(straddling_trajectory())
+        assert new_id not in mem
+
+
+class TestTileRouting:
+    def test_lazy_materialisation(self):
+        rng = np.random.default_rng(3)
+        __, sh = random_archives(rng, n_trips=20, extent=8_000.0, tile=400.0)
+        assert sh.resident_tiles == 0
+        probe = sh.trajectory(0).points[0].point  # guaranteed-occupied area
+        assert sh.points_near(probe, 300.0)
+        assert 0 < sh.resident_tiles < sh.total_tiles
+        assert sh.resident_points < sh.num_points
+
+    def test_prepare_for_fork_builds_no_trees(self):
+        rng = np.random.default_rng(4)
+        __, sh = random_archives(rng)
+        sh.prepare_for_fork()
+        assert sh.total_tiles > 0
+        assert sh.resident_tiles == 0
+
+    def test_tile_key_and_validation(self):
+        sh = ShardedArchive(tile_size=100.0)
+        assert sh.tile_key(Point(-0.5, 250.0)) == (-1, 2)
+        with pytest.raises(ValueError):
+            ShardedArchive(tile_size=0.0)
+
+    def test_make_archive_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown archive backend"):
+            make_archive("bogus")
+
+
+class TestPersistence:
+    def test_sharded_round_trip_reuses_tile_index(self, tmp_path):
+        rng = np.random.default_rng(21)
+        __, sh = random_archives(rng)
+        save_archive(sh, tmp_path / "arch")
+        restored = load_archive(tmp_path / "arch")
+        assert isinstance(restored, ShardedArchive)
+        assert restored.tile_size == sh.tile_size
+        # The persisted tile index is restored, not re-binned lazily.
+        assert restored._assignment is not None
+        assert restored.total_tiles == sh.total_tiles
+        q = Point(2_000.0, 1_000.0)
+        assert restored.points_near(q, 1_500.0) == sh.points_near(q, 1_500.0)
+        assert restored.trajectory_ids() == sh.trajectory_ids()
+
+    def test_memory_round_trip(self, tmp_path):
+        rng = np.random.default_rng(22)
+        mem, __ = random_archives(rng)
+        save_archive(mem, tmp_path / "arch")
+        restored = load_archive(tmp_path / "arch")
+        assert isinstance(restored, InMemoryArchive)
+        q = Point(500.0, 500.0)
+        assert restored.points_near(q, 2_000.0) == mem.points_near(q, 2_000.0)
+
+    def test_backend_override_on_load(self, tmp_path):
+        rng = np.random.default_rng(23)
+        mem, __ = random_archives(rng)
+        save_archive(mem, tmp_path / "arch")
+        restored = load_archive(tmp_path / "arch", backend="sharded", tile_size=250.0)
+        assert isinstance(restored, ShardedArchive)
+        assert restored.tile_size == 250.0
+        q = Point(500.0, 500.0)
+        assert restored.points_near(q, 2_000.0) == mem.points_near(q, 2_000.0)
+
+    def test_next_id_survives_round_trip(self, tmp_path):
+        mem = InMemoryArchive()
+        a = mem.add(straddling_trajectory())
+        b = mem.add(straddling_trajectory())
+        mem.remove(b)  # next_id must stay past the removed trailing id
+        save_archive(mem, tmp_path / "arch")
+        restored = load_archive(tmp_path / "arch")
+        assert restored.add(straddling_trajectory()) == b + 1
+        assert a in restored
+
+
+class TestInferenceIdentity:
+    def test_hris_bit_identical_across_backends(self, corridor_world):
+        """Acceptance: routes AND A_L identical between backends."""
+        from repro.core.system import HRIS, HRISConfig
+        from repro.eval.metrics import route_accuracy
+        from repro.trajectory.resample import downsample
+
+        sharded = convert_archive(corridor_world.archive, "sharded", 600.0)
+        h_mem = HRIS(corridor_world.network, corridor_world.archive, HRISConfig())
+        h_sh = HRIS(corridor_world.network, sharded, HRISConfig())
+        query = downsample(corridor_world.query, 240.0)
+        r_mem = h_mem.infer_routes(query)
+        r_sh = h_sh.infer_routes(query)
+        assert [(g.route.segment_ids, g.log_score) for g in r_mem] == [
+            (g.route.segment_ids, g.log_score) for g in r_sh
+        ]
+        net, truth = corridor_world.network, corridor_world.truth
+        assert route_accuracy(net, truth, r_mem[0].route) == route_accuracy(
+            net, truth, r_sh[0].route
+        )
+
+    def test_batch_prepares_shards_before_fork(self, corridor_world):
+        from repro.core.system import HRIS, HRISConfig
+        from repro.trajectory.resample import downsample
+
+        sharded = convert_archive(corridor_world.archive, "sharded", 600.0)
+        hris = HRIS(corridor_world.network, sharded, HRISConfig())
+        queries = [
+            downsample(corridor_world.query, 240.0),
+            downsample(corridor_world.query, 300.0),
+        ]
+        single = [hris.infer_routes(q) for q in queries]
+        batch = hris.infer_routes_batch(queries, workers=2, use_processes=True)
+        assert sharded._assignment is not None  # binned pre-fork
+        assert [
+            [(g.route.segment_ids, g.log_score) for g in rs] for rs in batch
+        ] == [[(g.route.segment_ids, g.log_score) for g in rs] for rs in single]
