@@ -17,7 +17,12 @@ Measures, on the standard evaluation world:
   plus a per-worker emulation: the query set is split into the same
   contiguous chunks the batch pool would hand to each worker, and each
   chunk runs against a fresh sharded archive so the resident tile set
-  (points, tiles, approximate index bytes) of every worker is measured.
+  (points, tiles, approximate index bytes) of every worker is measured;
+* **remote archive** — the same sequential workload with the spatial
+  tier served by ``--shards`` loopback :class:`ArchiveShardServer`
+  processes (the multi-process deployment of ``docs/distributed.md``):
+  per-shard resident points plus request-latency percentiles quantify
+  what the socket hop costs.
 
 Every configuration must produce identical top-K routes and scores; the
 benchmark verifies this and records the outcome.  Results are written as
@@ -93,6 +98,12 @@ def main(argv=None) -> int:
         type=float,
         default=800.0,
         help="tile edge (metres) for the sharded-archive configuration",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="loopback shard servers for the remote-archive configuration",
     )
     parser.add_argument("--out", type=Path, default=None, help="output JSON path")
     parser.add_argument(
@@ -195,6 +206,35 @@ def main(argv=None) -> int:
         + f"  (archive total {sharded.num_points})"
     )
 
+    # --- remote archive: spatial tier behind loopback shard servers -------
+    from repro.core.remote import ArchiveShardServer  # noqa: E402
+
+    servers = [
+        ArchiveShardServer(i, args.shards, args.tile_size).start()
+        for i in range(args.shards)
+    ]
+    addrs = [f"127.0.0.1:{s.address[1]}" for s in servers]
+    remote = convert_archive(scenario.archive, "remote", args.tile_size, addrs)
+    h_remote = HRIS(scenario.network, remote, HRISConfig())
+    remote.reset_latencies()  # measure the query phase, not the push
+    res_remote, lat_remote = time_sequential(h_remote, queries)
+    t_remote = sum(lat_remote)
+    rpc = sorted(remote.request_latencies)
+    shard_stats = remote.shard_stats()
+    remote.close()
+    for server in servers:
+        server.stop()
+
+    def percentile(sorted_vals, q):
+        return sorted_vals[min(len(sorted_vals) - 1, int(q * len(sorted_vals)))]
+
+    print(
+        f"remote ({args.shards} shards, tile={args.tile_size:.0f}m) "
+        f"sequential: {t_remote:.3f}s  {len(rpc)} requests, "
+        f"p50={percentile(rpc, 0.50) * 1e3:.2f}ms "
+        f"p99={percentile(rpc, 0.99) * 1e3:.2f}ms"
+    )
+
     # --- identity: every configuration must agree exactly -----------------
     ref = result_keys(res_seed)
     identical = {
@@ -203,6 +243,7 @@ def main(argv=None) -> int:
         "batch_vs_seed": result_keys(res_bn) == ref,
         "forced_pool_vs_seed": result_keys(res_bf) == ref,
         "sharded_vs_seed": result_keys(res_sharded) == ref,
+        "remote_vs_seed": result_keys(res_remote) == ref,
     }
     print(f"identity: {identical}")
     accuracy = sum(
@@ -259,6 +300,32 @@ def main(argv=None) -> int:
             "per_worker_max_resident_fraction": round(
                 max(resident_fractions), 4
             ),
+        },
+        "remote_archive": {
+            "num_shards": args.shards,
+            "tile_size_m": args.tile_size,
+            "total_s": round(t_remote, 4),
+            "mean_latency_s": round(t_remote / len(queries), 4),
+            "queries_per_s": round(len(queries) / t_remote, 3),
+            "overhead_vs_sharded": round(t_remote / t_sharded, 3),
+            "requests": len(rpc),
+            "request_latency_s": {
+                "p50": round(percentile(rpc, 0.50), 6),
+                "p90": round(percentile(rpc, 0.90), 6),
+                "p99": round(percentile(rpc, 0.99), 6),
+                "max": round(rpc[-1], 6),
+            },
+            "per_shard": [
+                {
+                    "shard": s["shard_index"],
+                    "num_points": s["num_points"],
+                    "num_tiles": s["num_tiles"],
+                    "resident_points": s["resident_points"],
+                    "resident_tiles": s["resident_tiles"],
+                    "index_bytes": s["index_bytes"],
+                }
+                for s in shard_stats
+            ],
         },
         "speedups": {
             "single_query_engine_vs_seed": round(t_seed / t_engine, 3),

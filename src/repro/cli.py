@@ -1,17 +1,29 @@
 """Command-line interface.
 
-Three subcommands cover the generate → infer → evaluate loop without
+Four subcommands cover the generate → infer → evaluate loop — plus
+serving the archive's spatial tier from separate processes — without
 writing any Python:
 
-* ``generate`` — build a synthetic scenario and save it to a directory;
-* ``infer``    — run HRIS on one saved query and print the top-K routes;
-* ``evaluate`` — compare HRIS and the baselines across sampling intervals.
+* ``generate``      — build a synthetic scenario and save it to a directory;
+* ``infer``         — run HRIS on one saved query and print the top-K routes;
+* ``evaluate``      — compare HRIS and the baselines across sampling
+  intervals;
+* ``archive-serve`` — run one archive shard server: the process owns a
+  subset of spatial tiles and answers the reference search's range
+  queries for them (see ``docs/distributed.md``).
+
+``infer`` and ``evaluate`` pick the archive backend with
+``--archive-backend {memory,sharded,remote}``: one in-process R-tree, an
+in-process tiled index, or fan-out to ``archive-serve`` processes named
+by repeated ``--shard-addr host:port`` flags.  Results are identical
+whichever backend serves the queries.
 
 Usage::
 
     python -m repro.cli generate --out world/ --seed 7
     python -m repro.cli infer --world world/ --query 0 --interval 180 --k 5
     python -m repro.cli evaluate --world world/ --intervals 180 420 900
+    python -m repro.cli archive-serve --port 7701 --shard-index 0 --num-shards 2
 """
 
 from __future__ import annotations
@@ -40,6 +52,10 @@ __all__ = ["main", "build_parser"]
 LANDMARKS_FILE = "landmarks.json"
 
 
+class _CLIError(Exception):
+    """A usage error detected after parsing (printed to stderr, exit 2)."""
+
+
 def _add_archive_options(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--archive-backend",
@@ -47,15 +63,26 @@ def _add_archive_options(cmd: argparse.ArgumentParser) -> None:
         default="memory",
         help=(
             "spatial archive backend: 'memory' holds one R-tree over all "
-            "points, 'sharded' tiles them and indexes lazily per tile "
-            "(identical results either way)"
+            "points, 'sharded' tiles them and indexes lazily per tile, "
+            "'remote' fans queries out to archive-serve shard processes "
+            "(identical results in every case)"
         ),
     )
     cmd.add_argument(
         "--tile-size",
         type=float,
         default=None,
-        help="tile side in metres for --archive-backend sharded",
+        help="tile side in metres for --archive-backend sharded/remote",
+    )
+    cmd.add_argument(
+        "--shard-addr",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "address of one archive-serve shard (repeat per shard); "
+            "required with --archive-backend remote"
+        ),
     )
     cmd.add_argument(
         "--no-landmark-cache",
@@ -155,7 +182,52 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_archive_options(ev)
+
+    serve = sub.add_parser(
+        "archive-serve",
+        help="serve one spatial shard of the archive over a socket",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks one; it is printed)"
+    )
+    serve.add_argument(
+        "--shard-index", type=int, required=True, help="this shard's index"
+    )
+    serve.add_argument(
+        "--num-shards", type=int, required=True, help="total shards in the fleet"
+    )
+    serve.add_argument(
+        "--tile-size",
+        type=float,
+        default=None,
+        help="tile side in metres (must match every shard and client)",
+    )
+    serve.add_argument(
+        "--world",
+        default=None,
+        help=(
+            "optional scenario directory to pre-seed this shard's tiles "
+            "from (clients may then attach instead of pushing points)"
+        ),
+    )
     return parser
+
+
+def _load_world(args: argparse.Namespace):
+    """``load_scenario`` for infer/evaluate, with archive-flag validation."""
+    if args.archive_backend == "remote" and not args.shard_addr:
+        raise _CLIError(
+            "--archive-backend remote needs at least one --shard-addr host:port"
+        )
+    if args.shard_addr and args.archive_backend != "remote":
+        raise _CLIError("--shard-addr only applies to --archive-backend remote")
+    return load_scenario(
+        args.world,
+        archive_backend=args.archive_backend,
+        tile_size=args.tile_size,
+        shard_addrs=args.shard_addr,
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -187,9 +259,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    scenario = load_scenario(
-        args.world, archive_backend=args.archive_backend, tile_size=args.tile_size
-    )
+    scenario = _load_world(args)
     if not (0 <= args.query < len(scenario.queries)):
         print(
             f"error: query index {args.query} out of range "
@@ -228,9 +298,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    scenario = load_scenario(
-        args.world, archive_backend=args.archive_backend, tile_size=args.tile_size
-    )
+    scenario = _load_world(args)
     network = scenario.network
     config = HRISConfig()
     hris = HRIS(
@@ -264,15 +332,56 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_archive_serve(args: argparse.Namespace) -> int:
+    from repro.core.archive import ShardedArchive
+    from repro.core.remote import ArchiveShardServer
+
+    tile_size = (
+        args.tile_size if args.tile_size is not None else ShardedArchive.DEFAULT_TILE_SIZE
+    )
+    server = ArchiveShardServer(
+        args.shard_index, args.num_shards, tile_size, host=args.host, port=args.port
+    )
+    if args.world is not None:
+        scenario = load_scenario(args.world)
+        kept = server.preload(scenario.archive.iter_points())
+        print(f"pre-seeded {kept}/{scenario.archive.num_points} archive points")
+    host, port = server.address
+    print(
+        f"shard {args.shard_index}/{args.num_shards} serving "
+        f"{tile_size:.0f}m tiles on {host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.core.remote import RemoteArchiveError
+
     args = build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "infer":
-        return _cmd_infer(args)
-    if args.command == "evaluate":
-        return _cmd_evaluate(args)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "infer":
+            return _cmd_infer(args)
+        if args.command == "evaluate":
+            return _cmd_evaluate(args)
+        if args.command == "archive-serve":
+            return _cmd_archive_serve(args)
+    except _CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RemoteArchiveError as exc:
+        # Degraded-shard surface: a clean one-line error, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -26,6 +26,14 @@ from repro.core.freespace import (
 from repro.core.hybrid import HybridConfig, HybridInference, reference_density_per_km2
 from repro.core.kgri import GlobalRoute, brute_force_global_routes, k_gri
 from repro.core.nni import NearestNeighborInference, NNIConfig, NNIStats
+from repro.core.remote import (
+    ArchiveShardServer,
+    RemoteArchiveError,
+    RemoteShardedArchive,
+    ShardProtocolError,
+    ShardTimeoutError,
+    ShardUnavailableError,
+)
 from repro.core.reference import (
     Reference,
     ReferencePoint,
@@ -49,6 +57,12 @@ __all__ = [
     "ArchivePoint",
     "InMemoryArchive",
     "ShardedArchive",
+    "ArchiveShardServer",
+    "RemoteArchiveError",
+    "RemoteShardedArchive",
+    "ShardProtocolError",
+    "ShardTimeoutError",
+    "ShardUnavailableError",
     "convert_archive",
     "load_archive",
     "make_archive",

@@ -15,7 +15,12 @@ The layer is split into pluggable backends behind one protocol:
 * :class:`ShardedArchive` — points partitioned into square spatial tiles
   with one lazily built R-tree per tile; range and pair queries are routed
   only to the overlapping tiles, so a worker serving a localised query set
-  materialises a fraction of the archive's index.
+  materialises a fraction of the archive's index;
+* :class:`~repro.core.remote.RemoteShardedArchive` (in
+  :mod:`repro.core.remote`) — the same tiling split across *processes*:
+  each :class:`~repro.core.remote.ArchiveShardServer` owns a subset of
+  tiles and the client fans queries out over a socket protocol, merging
+  replies back into the canonical order (see ``docs/distributed.md``).
 
 Every backend returns **canonically ordered** query results — point hits
 sorted by ``(traj_id, index)``, near-maps keyed in ascending trajectory
@@ -543,23 +548,31 @@ class ShardedArchive(_ArchiveBase):
         return sum(tree.approx_nbytes() for tree in self._shards.values())
 
 
-#: Backend registry: CLI/IO name -> constructor accepting ``tile_size``.
-ARCHIVE_BACKENDS = ("memory", "sharded")
+#: Backend registry: CLI/IO names accepted by :func:`make_archive`.
+ARCHIVE_BACKENDS = ("memory", "sharded", "remote")
 
 
 def make_archive(
-    backend: str = "memory", tile_size: Optional[float] = None
+    backend: str = "memory",
+    tile_size: Optional[float] = None,
+    shard_addrs: Optional[Sequence[str]] = None,
 ) -> _ArchiveBase:
     """Construct an empty archive of the requested backend.
 
     Args:
-        backend: ``"memory"`` (single R-tree) or ``"sharded"`` (tiled).
+        backend: ``"memory"`` (single R-tree), ``"sharded"`` (tiled) or
+            ``"remote"`` (tiles served by shard-server processes, see
+            :mod:`repro.core.remote`).
         tile_size: Tile side in metres for the sharded backend (defaults
-            to :attr:`ShardedArchive.DEFAULT_TILE_SIZE`); ignored for
-            ``"memory"``.
+            to :attr:`ShardedArchive.DEFAULT_TILE_SIZE`); for the remote
+            backend it is validated against the servers' handshake;
+            ignored for ``"memory"``.
+        shard_addrs: ``host:port`` shard-server addresses; required by
+            (and only meaningful for) the remote backend.
 
     Raises:
-        ValueError: On an unknown backend name.
+        ValueError: On an unknown backend name, or a remote backend
+            without shard addresses.
     """
     if backend == "memory":
         return InMemoryArchive()
@@ -567,20 +580,34 @@ def make_archive(
         return ShardedArchive(
             tile_size if tile_size is not None else ShardedArchive.DEFAULT_TILE_SIZE
         )
+    if backend == "remote":
+        if not shard_addrs:
+            raise ValueError(
+                "the remote backend needs at least one shard address "
+                "(shard_addrs=[...] / --shard-addr host:port)"
+            )
+        from repro.core.remote import RemoteShardedArchive
+
+        return RemoteShardedArchive(shard_addrs, expected_tile_size=tile_size)
     raise ValueError(
         f"unknown archive backend {backend!r}; expected one of {ARCHIVE_BACKENDS}"
     )
 
 
 def convert_archive(
-    source: _ArchiveBase, backend: str, tile_size: Optional[float] = None
+    source: _ArchiveBase,
+    backend: str,
+    tile_size: Optional[float] = None,
+    shard_addrs: Optional[Sequence[str]] = None,
 ) -> _ArchiveBase:
     """Rebuild ``source`` under another backend, *preserving trip ids*.
 
     Identical ids mean identical reference search output (references carry
     ``source_ids``), so a converted archive is a drop-in replacement.
+    Converting to ``"remote"`` pushes every observation to the owning
+    shard servers (idempotently, so pre-seeded fleets are fine).
     """
-    out = make_archive(backend, tile_size)
+    out = make_archive(backend, tile_size, shard_addrs)
     for tid in sorted(source._trajectories):
         out._restore(source._trajectories[tid])
     out._next_id = max(out._next_id, source._next_id)
@@ -652,13 +679,25 @@ def load_archive(
 
     Raises:
         FileNotFoundError: If the directory or an artefact is missing.
-        ValueError: On format mismatches or corrupt tile indexes.
+        ValueError: On a manifest format/version mismatch (raised up
+            front, naming the found version, before any trip parsing) or
+            corrupt tile indexes.
     """
     directory = Path(directory)
     with open(directory / _MANIFEST_FILE, "r", encoding="utf-8") as f:
         manifest = json.load(f)
-    if manifest.get("format") != _ARCHIVE_FORMAT:
-        raise ValueError(f"unknown archive format: {manifest.get('format')!r}")
+    found = manifest.get("format")
+    if found is None:
+        raise ValueError(
+            f"{directory / _MANIFEST_FILE} is not an archive manifest: "
+            "it has no 'format' field"
+        )
+    if found != _ARCHIVE_FORMAT:
+        raise ValueError(
+            f"unsupported archive format {found!r}: this build reads "
+            f"{_ARCHIVE_FORMAT!r} (re-save the archive with a matching "
+            "version of save_archive)"
+        )
 
     saved_backend = manifest.get("backend", "memory")
     effective_backend = backend if backend is not None else saved_backend

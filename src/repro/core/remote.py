@@ -1,0 +1,919 @@
+"""Distributed tile serving: archive shard servers and the remote backend.
+
+:class:`~repro.core.archive.ShardedArchive` (PR 2) tiles one process's
+archive; this module takes the next scale step and serves those tiles
+from *multiple processes*, so a city-scale archive's spatial indexes no
+longer have to fit one machine's memory:
+
+* :class:`ArchiveShardServer` — a process that **owns** a deterministic
+  subset of tiles (see :func:`shard_of_tile`) and answers the archive
+  range queries for them over a length-prefixed JSON socket protocol
+  (``repro-remote-v1``, specified in ``docs/distributed.md``);
+* :class:`RemoteShardedArchive` — an
+  :class:`~repro.core.archive.ArchiveBackend` client that keeps the trip
+  store locally, routes every spatial query to the owning shard servers,
+  fans pair queries out concurrently, and merges the per-shard replies
+  back into the canonical ``(traj_id, index)`` order — results are
+  bit-identical to :class:`~repro.core.archive.InMemoryArchive` and
+  :class:`~repro.core.archive.ShardedArchive` on the same trips.
+
+Failure handling is explicit: every request carries a timeout, failed
+requests are retried a bounded number of times with exponential backoff
+(all operations are idempotent, so a retry after a lost reply is safe),
+and a shard that stays unreachable surfaces as a typed
+:class:`ShardUnavailableError` / :class:`ShardTimeoutError` naming the
+degraded shard — never a hang, never a silent partial answer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+import socketserver
+import struct
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.geo.bbox import BBox
+from repro.geo.point import Point
+from repro.spatial.rtree import RTree
+from repro.trajectory.model import GPSPoint, Trajectory
+
+from repro.core.archive import ArchivePoint, _ArchiveBase, _group_refs, _ref_key
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteArchiveError",
+    "ShardProtocolError",
+    "ShardUnavailableError",
+    "ShardTimeoutError",
+    "shard_of_tile",
+    "parse_address",
+    "ArchiveShardServer",
+    "RemoteShardedArchive",
+    "request_shutdown",
+]
+
+#: Wire-format version token.  Every request carries ``"v": 1`` and the
+#: handshake reply carries this string; both sides reject mismatches up
+#: front instead of mis-parsing payloads (see docs/distributed.md).
+PROTOCOL_VERSION = "repro-remote-v1"
+
+_WIRE_V = 1
+
+#: Frame header: one big-endian u32 payload length.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame's JSON payload; a peer announcing more
+#: is treated as protocol corruption, not an allocation request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+# --------------------------------------------------------------------- errors
+
+
+class RemoteArchiveError(RuntimeError):
+    """Base class of every remote-archive failure."""
+
+
+class ShardProtocolError(RemoteArchiveError):
+    """The peer spoke, but not ``repro-remote-v1`` (version/shape/refusal)."""
+
+
+class ShardUnavailableError(RemoteArchiveError):
+    """A shard stayed unreachable after the bounded retry schedule.
+
+    Attributes:
+        address: ``(host, port)`` of the degraded shard.
+        op: The operation that could not be served.
+        attempts: Connection attempts made (``retries + 1``).
+    """
+
+    def __init__(self, address: Tuple[str, int], op: str, attempts: int, cause: str):
+        self.address = address
+        self.op = op
+        self.attempts = attempts
+        super().__init__(
+            f"shard {address[0]}:{address[1]} unavailable for {op!r} "
+            f"after {attempts} attempt(s): {cause}"
+        )
+
+
+class ShardTimeoutError(ShardUnavailableError):
+    """The shard accepted connections but never answered within the timeout."""
+
+
+# --------------------------------------------------------------- wire helpers
+
+
+def _send_frame(sock: socket.socket, payload: dict) -> None:
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None  # orderly EOF
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[dict]:
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ShardProtocolError(f"frame of {length} bytes exceeds the protocol cap")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ShardProtocolError("connection closed mid-frame")
+    return json.loads(body.decode("utf-8"))
+
+
+def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """``"host:port"`` or ``(host, port)`` → ``(host, port)``.
+
+    Raises:
+        ValueError: If the string has no ``:port`` or the port is not an int.
+    """
+    if isinstance(address, tuple):
+        host, port = address
+        return (str(host), int(port))
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"shard address {address!r} is not host:port")
+    return (host, int(port))
+
+
+# ------------------------------------------------------------ shard ownership
+
+
+def shard_of_tile(key: Tuple[int, int], num_shards: int) -> int:
+    """The shard index owning tile ``key`` among ``num_shards`` shards.
+
+    Deterministic and platform-independent (no salted ``hash()``): the
+    classic two-prime spatial hash, reduced modulo the shard count.  Both
+    client and servers evaluate this function, so ownership needs no
+    coordination service — a tile's owner is a pure function of its key.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    ix, iy = key
+    return ((ix * 73856093) ^ (iy * 19349663)) % num_shards
+
+
+# ---------------------------------------------------------------- the server
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    shard: "ArchiveShardServer"
+
+
+class _ShardRequestHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        while True:
+            try:
+                request = _recv_frame(self.request)
+            except (OSError, ValueError, ShardProtocolError):
+                return
+            if request is None:
+                return
+            response = self.server.shard._dispatch(request)
+            try:
+                _send_frame(self.request, response)
+            except OSError:
+                return
+            if request.get("op") == "shutdown" and response.get("ok"):
+                threading.Thread(target=self.server.shutdown, daemon=True).start()
+                return
+
+
+class ArchiveShardServer:
+    """One process of the distributed archive: owns a subset of tiles.
+
+    The server stores bare observations — ``(traj_id, index) -> (x, y)``
+    binned into the same ``floor(coord / tile_size)`` tiles as
+    :class:`~repro.core.archive.ShardedArchive` — and materialises one
+    R-tree per tile lazily, exactly like the single-process sharded
+    backend.  It never holds whole trajectories: the trip store stays
+    with the client, only the spatial tier is distributed.
+
+    Ownership is closed under :func:`shard_of_tile`: inserts for a tile
+    this shard does not own are refused (kind ``"ownership"``), so a
+    misconfigured client fails loudly instead of splitting a tile across
+    shards (which would break the disjoint-merge guarantee).
+
+    Args:
+        shard_index: This shard's index in ``[0, num_shards)``.
+        num_shards: Total shards in the deployment.
+        tile_size: Tile edge in metres (must match every peer and client).
+        host / port: Bind address; port 0 picks an ephemeral port
+            (read it back from :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        num_shards: int,
+        tile_size: float,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if not 0 <= shard_index < num_shards:
+            raise ValueError(f"shard_index {shard_index} outside [0, {num_shards})")
+        if tile_size <= 0.0:
+            raise ValueError("tile_size must be positive")
+        self.shard_index = shard_index
+        self.num_shards = num_shards
+        self.tile_size = float(tile_size)
+        self._tiles: Dict[Tuple[int, int], Dict[Tuple[int, int], Tuple[float, float]]] = {}
+        self._trees: Dict[Tuple[int, int], RTree[Tuple[int, int]]] = {}
+        self._lock = threading.RLock()
+        self._server = _TCPServer((host, port), _ShardRequestHandler)
+        self._server.shard = self
+        self._thread: Optional[threading.Thread] = None
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolved even when port 0 was asked."""
+        host, port = self._server.server_address[:2]
+        return (host, port)
+
+    def start(self) -> "ArchiveShardServer":
+        """Serve in a daemon thread (tests, benchmarks, embedding)."""
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI ``archive-serve`` path)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # ---------------------------------------------------------------- state
+
+    def owns(self, key: Tuple[int, int]) -> bool:
+        return shard_of_tile(key, self.num_shards) == self.shard_index
+
+    def tile_key(self, x: float, y: float) -> Tuple[int, int]:
+        return (math.floor(x / self.tile_size), math.floor(y / self.tile_size))
+
+    @property
+    def num_points(self) -> int:
+        with self._lock:
+            return sum(len(points) for points in self._tiles.values())
+
+    def preload(
+        self, points: Iterable[Tuple[ArchivePoint, Union[Point, GPSPoint]]]
+    ) -> int:
+        """Ingest observations directly (CLI ``--world`` preseeding).
+
+        Observations in tiles this shard does not own are skipped — the
+        caller can stream a whole archive and each shard keeps its share.
+
+        Returns:
+            Observations kept.
+        """
+        kept = 0
+        with self._lock:
+            for ref, p in points:
+                key = self.tile_key(p.x, p.y)
+                if not self.owns(key):
+                    continue
+                self._insert_one(key, (ref.traj_id, ref.index), (p.x, p.y))
+                kept += 1
+        return kept
+
+    def _insert_one(
+        self,
+        key: Tuple[int, int],
+        ref: Tuple[int, int],
+        xy: Tuple[float, float],
+    ) -> None:
+        tile = self._tiles.setdefault(key, {})
+        if ref in tile:  # idempotent re-insert (client retry after lost reply)
+            return
+        tile[ref] = xy
+        tree = self._trees.get(key)
+        if tree is not None:
+            tree.insert_point(Point(*xy), ref)
+
+    def _delete_one(
+        self,
+        key: Tuple[int, int],
+        ref: Tuple[int, int],
+        xy: Tuple[float, float],
+    ) -> None:
+        tile = self._tiles.get(key)
+        if tile is None or ref not in tile:
+            return  # idempotent
+        del tile[ref]
+        tree = self._trees.get(key)
+        if tree is not None:
+            tree.remove_point(Point(*xy), ref)
+            if len(tree) == 0:
+                del self._trees[key]
+        if not tile:
+            del self._tiles[key]
+
+    def _tree(self, key: Tuple[int, int]) -> RTree[Tuple[int, int]]:
+        tree = self._trees.get(key)
+        if tree is None:
+            entries = [
+                (BBox(x, y, x, y), ref) for ref, (x, y) in self._tiles[key].items()
+            ]
+            tree = RTree.bulk_load(entries, max_entries=32)
+            self._trees[key] = tree
+        return tree
+
+    def _tiles_overlapping(self, box: BBox) -> List[Tuple[int, int]]:
+        ix0 = math.floor(box.min_x / self.tile_size)
+        ix1 = math.floor(box.max_x / self.tile_size)
+        iy0 = math.floor(box.min_y / self.tile_size)
+        iy1 = math.floor(box.max_y / self.tile_size)
+        span = (ix1 - ix0 + 1) * (iy1 - iy0 + 1)
+        if span <= len(self._tiles):
+            return [
+                (ix, iy)
+                for ix in range(ix0, ix1 + 1)
+                for iy in range(iy0, iy1 + 1)
+                if (ix, iy) in self._tiles
+            ]
+        return [
+            key
+            for key in self._tiles
+            if ix0 <= key[0] <= ix1 and iy0 <= key[1] <= iy1
+        ]
+
+    def _search_circles(
+        self, queries: Sequence[Tuple[Point, float]]
+    ) -> List[List[Tuple[int, int]]]:
+        out: List[List[Tuple[int, int]]] = [[] for __ in queries]
+        per_tile: Dict[Tuple[int, int], List[int]] = {}
+        for qi, (center, radius) in enumerate(queries):
+            box = BBox.around(center, radius)
+            for key in self._tiles_overlapping(box):
+                per_tile.setdefault(key, []).append(qi)
+        for key, circle_ids in per_tile.items():
+            points = self._tiles[key]
+            sub = self._tree(key).search_radius_many(
+                [queries[qi] for qi in circle_ids],
+                position=lambda ref, points=points: Point(*points[ref]),
+            )
+            for qi, hits in zip(circle_ids, sub):
+                out[qi].extend(hits)
+        return [sorted(set(hits)) for hits in out]
+
+    def _search_bbox(self, region: BBox) -> List[Tuple[int, int]]:
+        refs: List[Tuple[int, int]] = []
+        for key in self._tiles_overlapping(region):
+            refs.extend(self._tree(key).search_bbox(region))
+        return sorted(set(refs))
+
+    # ------------------------------------------------------------- protocol
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if request.get("v") != _WIRE_V:
+            return {
+                "ok": False,
+                "kind": "protocol",
+                "error": f"unsupported wire version {request.get('v')!r}; "
+                f"this server speaks {PROTOCOL_VERSION} (v: {_WIRE_V})",
+            }
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return {"ok": False, "kind": "protocol", "error": f"unknown op {op!r}"}
+        try:
+            with self._lock:
+                return handler(request)
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "kind": "bad_request", "error": repr(exc)}
+
+    def _op_hello(self, request: dict) -> dict:
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "shard_index": self.shard_index,
+            "num_shards": self.num_shards,
+            "tile_size": self.tile_size,
+            "num_points": self.num_points,
+            "num_tiles": len(self._tiles),
+        }
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True}
+
+    def _op_insert(self, request: dict) -> dict:
+        rows = request["points"]
+        for tid, idx, x, y in rows:
+            key = self.tile_key(x, y)
+            if not self.owns(key):
+                return {
+                    "ok": False,
+                    "kind": "ownership",
+                    "error": f"tile {key} of point ({tid}, {idx}) is owned by "
+                    f"shard {shard_of_tile(key, self.num_shards)}, "
+                    f"not {self.shard_index}",
+                }
+        for tid, idx, x, y in rows:
+            self._insert_one(self.tile_key(x, y), (int(tid), int(idx)), (x, y))
+        return {"ok": True, "inserted": len(rows)}
+
+    def _op_delete(self, request: dict) -> dict:
+        rows = request["points"]
+        for tid, idx, x, y in rows:
+            self._delete_one(self.tile_key(x, y), (int(tid), int(idx)), (x, y))
+        return {"ok": True, "deleted": len(rows)}
+
+    def _op_search_circles(self, request: dict) -> dict:
+        queries = [(Point(x, y), r) for x, y, r in request["queries"]]
+        hits = self._search_circles(queries)
+        return {"ok": True, "hits": [[list(ref) for ref in h] for h in hits]}
+
+    def _op_search_bbox(self, request: dict) -> dict:
+        x0, y0, x1, y1 = request["bbox"]
+        refs = self._search_bbox(BBox(x0, y0, x1, y1))
+        return {"ok": True, "refs": [list(ref) for ref in refs]}
+
+    def _op_near_pair(self, request: dict) -> dict:
+        qi = Point(*request["qi"])
+        qi1 = Point(*request["qi1"])
+        radius = float(request["radius"])
+        hits_i, hits_j = self._search_circles([(qi, radius), (qi1, radius)])
+        return {
+            "ok": True,
+            "near_i": _group_pairs(hits_i),
+            "near_j": _group_pairs(hits_j),
+        }
+
+    def _op_stats(self, request: dict) -> dict:
+        return {
+            "ok": True,
+            "shard_index": self.shard_index,
+            "num_points": self.num_points,
+            "num_tiles": len(self._tiles),
+            "resident_tiles": len(self._trees),
+            "resident_points": sum(len(t) for t in self._trees.values()),
+            "index_bytes": sum(t.approx_nbytes() for t in self._trees.values()),
+        }
+
+    def _op_shutdown(self, request: dict) -> dict:
+        return {"ok": True}
+
+
+def _group_pairs(hits: Sequence[Tuple[int, int]]) -> List[List[object]]:
+    """Sorted ``(tid, idx)`` hits → ``[[tid, [idx, ...]], ...]`` wire shape."""
+    grouped: Dict[int, List[int]] = {}
+    for tid, idx in hits:
+        grouped.setdefault(tid, []).append(idx)
+    return [[tid, idxs] for tid, idxs in grouped.items()]
+
+
+# ---------------------------------------------------------------- the client
+
+
+class _ShardConnection:
+    """One shard's persistent connection: framing, timeout, bounded retry.
+
+    Every ``repro-remote-v1`` operation is idempotent, so a request whose
+    reply was lost can be resent verbatim; the retry schedule is
+    ``retries`` resends with exponential backoff starting at
+    ``backoff_s``.  A request that exhausts the schedule raises
+    :class:`ShardTimeoutError` (timeouts) or
+    :class:`ShardUnavailableError` (connection refusals/resets) — the
+    degraded-shard surface callers handle.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout_s: float,
+        retries: int,
+        backoff_s: float,
+        latencies: List[float],
+    ) -> None:
+        self.address = address
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._latencies = latencies
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    def _connected(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(self.address, timeout=self.timeout_s)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                finally:
+                    self._sock = None
+
+    def request(self, payload: dict) -> dict:
+        op = str(payload.get("op"))
+        last_error: Optional[BaseException] = None
+        with self._lock:
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                t0 = time.perf_counter()
+                try:
+                    sock = self._connected()
+                    _send_frame(sock, payload)
+                    response = _recv_frame(sock)
+                    if response is None:
+                        raise ConnectionError("shard closed the connection")
+                except (TimeoutError, socket.timeout, OSError) as exc:
+                    self._sock = None
+                    last_error = exc
+                    continue
+                finally:
+                    self._latencies.append(time.perf_counter() - t0)
+                if not response.get("ok"):
+                    raise ShardProtocolError(
+                        f"shard {self.address[0]}:{self.address[1]} refused "
+                        f"{op!r}: [{response.get('kind', 'error')}] "
+                        f"{response.get('error', 'no detail')}"
+                    )
+                return response
+        attempts = self.retries + 1
+        cause = repr(last_error)
+        if isinstance(last_error, (TimeoutError, socket.timeout)):
+            raise ShardTimeoutError(self.address, op, attempts, cause)
+        raise ShardUnavailableError(self.address, op, attempts, cause)
+
+
+class RemoteShardedArchive(_ArchiveBase):
+    """Archive backend served by remote :class:`ArchiveShardServer` fleet.
+
+    The trip store (whole trajectories, by id) lives in this process —
+    reference assembly needs the actual trajectories — while every
+    spatial query is fanned out to the shard servers owning the tiles the
+    query's region covers and the disjoint per-shard answers are merged
+    into the canonical ``(traj_id, index)`` order.  Equivalence with the
+    in-process backends is therefore structural, exactly as for
+    :class:`~repro.core.archive.ShardedArchive`: each observation lives
+    in exactly one tile, each tile on exactly one shard.
+
+    Mutations (:meth:`add` / :meth:`remove`) forward each trip's points
+    to the owning shards, so the fleet tracks the local trip store.  Use
+    :meth:`attach_trips` instead when the servers were pre-seeded with the
+    same archive (``repro archive-serve --world``): it registers trips
+    locally without re-pushing points.
+
+    Construction performs the ``hello`` handshake against every address
+    and validates the deployment: protocol version, one server per shard
+    index in ``[0, num_shards)``, and a single tile size.
+
+    Args:
+        addresses: One ``"host:port"`` (or ``(host, port)``) per shard,
+            in any order — servers are identified by their handshake
+            ``shard_index``, not by list position.
+        timeout_s: Per-request socket timeout.
+        retries: Resends after a failed request (bounded; idempotent ops).
+        backoff_s: First retry delay; doubles per further attempt.
+        expected_tile_size: Optional cross-check against the handshake.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[Union[str, Tuple[str, int]]],
+        timeout_s: float = 5.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        expected_tile_size: Optional[float] = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("a remote archive needs at least one shard address")
+        super().__init__()
+        self.request_latencies: List[float] = []
+        self._timeout_s = timeout_s
+        self._retries = retries
+        self._backoff_s = backoff_s
+        connections = [
+            _ShardConnection(
+                parse_address(a), timeout_s, retries, backoff_s, self.request_latencies
+            )
+            for a in addresses
+        ]
+        by_index: Dict[int, _ShardConnection] = {}
+        tile_size: Optional[float] = None
+        for conn in connections:
+            hello = conn.request({"op": "hello", "v": _WIRE_V})
+            if hello.get("protocol") != PROTOCOL_VERSION:
+                raise ShardProtocolError(
+                    f"shard {conn.address} speaks {hello.get('protocol')!r}, "
+                    f"expected {PROTOCOL_VERSION!r}"
+                )
+            if int(hello["num_shards"]) != len(connections):
+                raise ShardProtocolError(
+                    f"shard {conn.address} is part of a "
+                    f"{hello['num_shards']}-shard deployment but "
+                    f"{len(connections)} address(es) were given"
+                )
+            index = int(hello["shard_index"])
+            if index in by_index:
+                raise ShardProtocolError(
+                    f"two servers claim shard index {index}: "
+                    f"{by_index[index].address} and {conn.address}"
+                )
+            size = float(hello["tile_size"])
+            if tile_size is None:
+                tile_size = size
+            elif size != tile_size:
+                raise ShardProtocolError(
+                    f"inconsistent tile sizes across shards: {tile_size} vs "
+                    f"{size} at {conn.address}"
+                )
+            by_index[index] = conn
+        assert tile_size is not None
+        if expected_tile_size is not None and tile_size != float(expected_tile_size):
+            raise ShardProtocolError(
+                f"shards use tile_size={tile_size}, caller expected "
+                f"{float(expected_tile_size)}"
+            )
+        self._tile_size = tile_size
+        self._connections = [by_index[i] for i in range(len(connections))]
+        self._executor_lock = threading.Lock()
+        self._executor = None
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def tile_size(self) -> float:
+        return self._tile_size
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._connections)
+
+    def tile_key(self, p: Point) -> Tuple[int, int]:
+        return (
+            math.floor(p.x / self._tile_size),
+            math.floor(p.y / self._tile_size),
+        )
+
+    def close(self) -> None:
+        """Drop sockets and the fan-out thread pool (reconnects lazily)."""
+        for conn in self._connections:
+            conn.close()
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
+
+    def __enter__(self) -> "RemoteShardedArchive":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def prepare_for_fork(self) -> None:
+        """Called by the batch pool right before forking workers.
+
+        Sockets and thread pools do not survive ``fork``; dropping them
+        here makes every worker (and the parent) reconnect lazily on its
+        next request instead of sharing a corrupted stream.
+        """
+        self.close()
+
+    def reset_latencies(self) -> None:
+        self.request_latencies.clear()
+
+    def _pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(1, len(self._connections)),
+                    thread_name_prefix="repro-remote",
+                )
+            return self._executor
+
+    def _fan_out(self, payloads: Dict[int, dict]) -> Dict[int, dict]:
+        """Issue one request per shard concurrently; raise on any failure."""
+        if not payloads:
+            return {}
+        if len(payloads) == 1:
+            ((index, payload),) = payloads.items()
+            return {index: self._connections[index].request(payload)}
+        futures = {
+            index: self._pool().submit(self._connections[index].request, payload)
+            for index, payload in payloads.items()
+        }
+        return {index: future.result() for index, future in futures.items()}
+
+    # --------------------------------------------------------- shard routing
+
+    #: Covered-tile enumeration cap: a query box spanning more tiles than
+    #: this is simply broadcast to every shard (enumerating the owners
+    #: would cost more than the spare requests it saves).
+    _ENUMERATION_CAP = 4096
+
+    def _shards_for_boxes(self, boxes: Sequence[BBox]) -> Dict[int, List[int]]:
+        """Shard index → indices of the boxes whose tiles it may own."""
+        n = len(self._connections)
+        out: Dict[int, List[int]] = {}
+        for bi, box in enumerate(boxes):
+            ix0 = math.floor(box.min_x / self._tile_size)
+            ix1 = math.floor(box.max_x / self._tile_size)
+            iy0 = math.floor(box.min_y / self._tile_size)
+            iy1 = math.floor(box.max_y / self._tile_size)
+            span = (ix1 - ix0 + 1) * (iy1 - iy0 + 1)
+            if span > self._ENUMERATION_CAP or span >= n * 8:
+                owners = range(n)
+            else:
+                owners = {
+                    shard_of_tile((ix, iy), n)
+                    for ix in range(ix0, ix1 + 1)
+                    for iy in range(iy0, iy1 + 1)
+                }
+            for owner in owners:
+                out.setdefault(owner, []).append(bi)
+        return out
+
+    # ------------------------------------------------------------ mutations
+
+    def _rows_by_shard(self, trajectory: Trajectory) -> Dict[int, List[List[float]]]:
+        rows: Dict[int, List[List[float]]] = {}
+        n = len(self._connections)
+        for i, p in enumerate(trajectory.points):
+            owner = shard_of_tile(self.tile_key(p.point), n)
+            rows.setdefault(owner, []).append(
+                [trajectory.traj_id, i, p.point.x, p.point.y]
+            )
+        return rows
+
+    def _on_add(self, trajectory: Trajectory) -> None:
+        self._fan_out(
+            {
+                shard: {"op": "insert", "v": _WIRE_V, "points": rows}
+                for shard, rows in self._rows_by_shard(trajectory).items()
+            }
+        )
+
+    def _on_remove(self, trajectory: Trajectory) -> None:
+        self._fan_out(
+            {
+                shard: {"op": "delete", "v": _WIRE_V, "points": rows}
+                for shard, rows in self._rows_by_shard(trajectory).items()
+            }
+        )
+
+    def attach_trips(self, trips: Iterable[Trajectory]) -> None:
+        """Register trips locally *without* pushing points to the shards.
+
+        For deployments whose servers were pre-seeded with the same
+        archive (``repro archive-serve --world``): the client still needs
+        the trip store for reference assembly, but the observations are
+        already resident on the fleet.
+
+        Raises:
+            ValueError: On a duplicate trip id.
+        """
+        for trajectory in trips:
+            tid = trajectory.traj_id
+            if tid in self._trajectories:
+                raise ValueError(f"trajectory id {tid} already present")
+            self._trajectories[tid] = trajectory
+            self._next_id = max(self._next_id, tid + 1)
+
+    # -------------------------------------------------------------- queries
+
+    def _search_circles(
+        self, queries: Sequence[Tuple[Point, float]]
+    ) -> List[List[ArchivePoint]]:
+        out: List[List[ArchivePoint]] = [[] for __ in queries]
+        if not queries:
+            return out
+        boxes = [BBox.around(center, radius) for center, radius in queries]
+        payloads = {}
+        members: Dict[int, List[int]] = {}
+        for shard, circle_ids in self._shards_for_boxes(boxes).items():
+            members[shard] = circle_ids
+            payloads[shard] = {
+                "op": "search_circles",
+                "v": _WIRE_V,
+                "queries": [
+                    [queries[qi][0].x, queries[qi][0].y, queries[qi][1]]
+                    for qi in circle_ids
+                ],
+            }
+        for shard, response in self._fan_out(payloads).items():
+            for qi, hits in zip(members[shard], response["hits"]):
+                out[qi].extend(ArchivePoint(int(t), int(i)) for t, i in hits)
+        # Tiles are disjoint and each tile lives on one shard, so the
+        # per-shard answers are disjoint; sorting restores canonical order.
+        return [sorted(set(hits), key=_ref_key) for hits in out]
+
+    def points_in_bbox(self, region: BBox) -> List[ArchivePoint]:
+        payloads = {
+            shard: {
+                "op": "search_bbox",
+                "v": _WIRE_V,
+                "bbox": [region.min_x, region.min_y, region.max_x, region.max_y],
+            }
+            for shard in self._shards_for_boxes([region])
+        }
+        refs: List[ArchivePoint] = []
+        for response in self._fan_out(payloads).values():
+            refs.extend(ArchivePoint(int(t), int(i)) for t, i in response["refs"])
+        return sorted(set(refs), key=_ref_key)
+
+    def trajectories_near_pair(
+        self, qi: Point, qi1: Point, radius: float
+    ) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+        """Remote fan-out of the reference search's φ-pair query.
+
+        Each owning shard answers both circles for its tiles in one
+        request (``near_pair``); the per-shard near-maps are merged by
+        concatenating index lists per trajectory id, then re-sorted into
+        the canonical shape — ascending trajectory ids, each with its
+        sorted observation indices — matching
+        :meth:`repro.core.archive._ArchiveBase.trajectories_near_pair`
+        bit for bit.
+        """
+        boxes = [BBox.around(qi, radius), BBox.around(qi1, radius)]
+        shards = sorted(self._shards_for_boxes(boxes))
+        payload = {
+            "op": "near_pair",
+            "v": _WIRE_V,
+            "qi": [qi.x, qi.y],
+            "qi1": [qi1.x, qi1.y],
+            "radius": radius,
+        }
+        responses = self._fan_out({shard: dict(payload) for shard in shards})
+        near_i: Dict[int, List[int]] = {}
+        near_j: Dict[int, List[int]] = {}
+        for response in responses.values():
+            for accumulator, field in ((near_i, "near_i"), (near_j, "near_j")):
+                for tid, idxs in response[field]:
+                    accumulator.setdefault(int(tid), []).extend(int(v) for v in idxs)
+        return _canonical_near_map(near_i), _canonical_near_map(near_j)
+
+    # ------------------------------------------------------------ telemetry
+
+    def ping(self) -> List[float]:
+        """Round-trip seconds per shard (raises on a degraded shard)."""
+        out = []
+        for conn in self._connections:
+            t0 = time.perf_counter()
+            conn.request({"op": "ping", "v": _WIRE_V})
+            out.append(time.perf_counter() - t0)
+        return out
+
+    def shard_stats(self) -> List[dict]:
+        """Per-shard resident-size stats, ordered by shard index."""
+        responses = self._fan_out(
+            {
+                shard: {"op": "stats", "v": _WIRE_V}
+                for shard in range(len(self._connections))
+            }
+        )
+        out = []
+        for shard in range(len(self._connections)):
+            stats = dict(responses[shard])
+            stats.pop("ok", None)
+            out.append(stats)
+        return out
+
+
+def _canonical_near_map(raw: Dict[int, List[int]]) -> Dict[int, List[int]]:
+    return {tid: sorted(raw[tid]) for tid in sorted(raw)}
+
+
+def request_shutdown(
+    address: Union[str, Tuple[str, int]], timeout_s: float = 5.0
+) -> None:
+    """Ask the shard server at ``address`` to shut down (orderly teardown)."""
+    conn = _ShardConnection(parse_address(address), timeout_s, 0, 0.0, [])
+    try:
+        conn.request({"op": "shutdown", "v": _WIRE_V})
+    finally:
+        conn.close()

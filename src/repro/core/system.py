@@ -1,7 +1,9 @@
 """HRIS — the History-based Route Inference System facade (Fig. 2).
 
-Wires the whole pipeline together.  Offline: a preprocessed, R-tree-indexed
-:class:`~repro.core.archive.TrajectoryArchive`.  Online, per query:
+Wires the whole pipeline together.  Offline: a preprocessed archive
+behind the :class:`~repro.core.archive.ArchiveBackend` protocol — one
+in-process R-tree, spatial tiles, or a remote shard fleet; every backend
+serves bit-identical query results.  Online, per query:
 
 1. split the query into consecutive point pairs and run the
    reference-trajectory search (Sec. III-A) for each pair;

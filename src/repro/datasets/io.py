@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.core.archive import make_archive
 from repro.datasets.synthetic import QueryCase, Scenario, ScenarioConfig
@@ -53,16 +53,22 @@ def load_scenario(
     directory: Union[str, Path],
     archive_backend: str = "memory",
     tile_size: Optional[float] = None,
+    shard_addrs: Optional[Sequence[str]] = None,
 ) -> Scenario:
     """Read a scenario saved by :func:`save_scenario`.
 
     Args:
         directory: The scenario directory.
         archive_backend: Spatial backend the archive is loaded into —
-            ``"memory"`` (one R-tree, the default) or ``"sharded"``
-            (tiled, see :class:`~repro.core.archive.ShardedArchive`).
-            Query results are identical either way.
-        tile_size: Tile side in metres for the sharded backend.
+            ``"memory"`` (one R-tree, the default), ``"sharded"`` (tiled,
+            see :class:`~repro.core.archive.ShardedArchive`) or
+            ``"remote"`` (tiles served by shard-server processes, see
+            :mod:`repro.core.remote`).  Query results are identical
+            whichever backend serves them.
+        tile_size: Tile side in metres for the sharded/remote backends.
+        shard_addrs: ``host:port`` shard servers (remote backend only).
+            Archive points are pushed to the owning shards as trips load;
+            pushes are idempotent, so pre-seeded fleets are fine.
 
     Raises:
         FileNotFoundError: If any artefact is missing.
@@ -70,7 +76,7 @@ def load_scenario(
     """
     directory = Path(directory)
     network = load_network(directory / _NETWORK_FILE)
-    archive = make_archive(archive_backend, tile_size)
+    archive = make_archive(archive_backend, tile_size, shard_addrs)
     for trip in load_trajectories(directory / _ARCHIVE_FILE):
         archive.add(trip)
     with open(directory / _QUERIES_FILE, "r", encoding="utf-8") as f:

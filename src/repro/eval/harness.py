@@ -174,18 +174,24 @@ def evaluate_accuracy_batch(
 
 
 def with_archive_backend(
-    scenario: Scenario, backend: str, tile_size: Optional[float] = None
+    scenario: Scenario,
+    backend: str,
+    tile_size: Optional[float] = None,
+    shard_addrs: Optional[Sequence[str]] = None,
 ) -> Scenario:
     """The same scenario with its archive rebuilt under another backend.
 
     Trip ids are preserved, so every evaluation over the returned scenario
     yields bit-identical routes and accuracies — only the spatial index
-    layout (and hence the per-worker resident set) changes.
+    layout (and hence the per-worker resident set) changes.  For the
+    ``"remote"`` backend pass the shard-server addresses; the rebuild
+    pushes every observation to its owning shard.
     """
     from repro.core.archive import convert_archive
 
     return dataclasses.replace(
-        scenario, archive=convert_archive(scenario.archive, backend, tile_size)
+        scenario,
+        archive=convert_archive(scenario.archive, backend, tile_size, shard_addrs),
     )
 
 
@@ -194,12 +200,14 @@ def standard_scenario(
     n_queries: int = 10,
     archive_backend: str = "memory",
     tile_size: Optional[float] = None,
+    shard_addrs: Optional[Sequence[str]] = None,
 ) -> Scenario:
     """The default evaluation world used by most figures.
 
     A 14x14 grid city (6.5 km across) with 8 OD corridors, 240 demand
     trips at mixed sampling intervals plus background noise.  The archive
-    is served by ``archive_backend`` (results are backend-independent).
+    is served by ``archive_backend`` (results are backend-independent;
+    ``shard_addrs`` applies to the ``"remote"`` backend only).
     """
     scenario = build_scenario(
         ScenarioConfig(
@@ -212,7 +220,9 @@ def standard_scenario(
         )
     )
     if archive_backend != "memory":
-        scenario = with_archive_backend(scenario, archive_backend, tile_size)
+        scenario = with_archive_backend(
+            scenario, archive_backend, tile_size, shard_addrs
+        )
     return scenario
 
 

@@ -115,6 +115,95 @@ class TestCommands:
         assert route_lines(out_sharded) == route_lines(out_memory)
         assert route_lines(out_memory)
 
+    def test_infer_remote_backend_matches_memory(self, world_dir, capsys):
+        """archive-serve + infer --archive-backend remote: same routes as
+        the in-process backend, over real loopback shard processes."""
+        import threading
+
+        from repro.core.remote import request_shutdown
+        from repro.core.remote import ArchiveShardServer
+
+        # Pre-pick ephemeral ports by starting the servers in-process; the
+        # CLI path itself is exercised through _cmd_archive_serve's
+        # building blocks (serve_forever on the CLI thread is covered by
+        # driving the same server class the subcommand constructs).
+        servers = [ArchiveShardServer(i, 2, 700.0) for i in range(2)]
+        threads = [
+            threading.Thread(target=s.serve_forever, daemon=True) for s in servers
+        ]
+        for t in threads:
+            t.start()
+        addrs = [f"127.0.0.1:{s.address[1]}" for s in servers]
+        try:
+            args = [
+                "infer", "--world", str(world_dir), "--query", "0",
+                "--interval", "240",
+            ]
+            def route_lines(text):
+                return [line for line in text.splitlines() if "log-score" in line]
+
+            assert main(args) == 0
+            out_memory = capsys.readouterr().out
+            remote_args = args + [
+                "--archive-backend", "remote", "--tile-size", "700",
+                "--shard-addr", addrs[0], "--shard-addr", addrs[1],
+            ]
+            assert main(remote_args) == 0
+            out_remote = capsys.readouterr().out
+            assert route_lines(out_remote) == route_lines(out_memory)
+            assert route_lines(out_memory)
+        finally:
+            for addr in addrs:
+                request_shutdown(addr)
+            for s in servers:
+                s._server.server_close()
+            for t in threads:
+                t.join(timeout=5.0)
+
+    def test_infer_remote_backend_requires_addresses(self, world_dir, capsys):
+        code = main(
+            [
+                "infer", "--world", str(world_dir), "--query", "0",
+                "--archive-backend", "remote",
+            ]
+        )
+        assert code == 2
+        assert "--shard-addr" in capsys.readouterr().err
+
+    def test_shard_addr_without_remote_backend_rejected(self, world_dir, capsys):
+        code = main(
+            [
+                "infer", "--world", str(world_dir), "--query", "0",
+                "--shard-addr", "127.0.0.1:1",
+            ]
+        )
+        assert code == 2
+        assert "remote" in capsys.readouterr().err
+
+    def test_infer_unreachable_shard_reports_remote_error(self, world_dir, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(
+            [
+                "infer", "--world", str(world_dir), "--query", "0",
+                "--archive-backend", "remote",
+                "--shard-addr", f"127.0.0.1:{port}",
+            ]
+        )
+        assert code == 3
+        assert "unavailable" in capsys.readouterr().err
+
+    def test_archive_serve_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["archive-serve", "--shard-index", "0", "--num-shards", "2"]
+        )
+        assert args.port == 0
+        assert args.host == "127.0.0.1"
+
     def test_infer_persists_and_reuses_landmarks(self, world_dir, capsys):
         import json
 

@@ -8,6 +8,7 @@ HRIS inference is bit-identical whichever backend serves the reference
 search.
 """
 
+import json
 import math
 
 import numpy as np
@@ -191,6 +192,27 @@ class TestPersistence:
         assert restored.tile_size == 250.0
         q = Point(500.0, 500.0)
         assert restored.points_near(q, 2_000.0) == mem.points_near(q, 2_000.0)
+
+    def test_manifest_version_mismatch_names_found_version(self, tmp_path):
+        """A future/foreign manifest fails up front, naming the version it
+        found — before any trip parsing (trips.jsonl may not even parse)."""
+        rng = np.random.default_rng(24)
+        mem, __ = random_archives(rng, n_trips=2)
+        save_archive(mem, tmp_path / "arch")
+        manifest_path = tmp_path / "arch" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = "repro-archive-v999"
+        manifest_path.write_text(json.dumps(manifest))
+        (tmp_path / "arch" / "trips.jsonl").write_text("not even json\n")
+        with pytest.raises(ValueError, match="repro-archive-v999"):
+            load_archive(tmp_path / "arch")
+
+    def test_manifest_without_format_field_rejected(self, tmp_path):
+        directory = tmp_path / "arch"
+        directory.mkdir()
+        (directory / "manifest.json").write_text('{"backend": "memory"}')
+        with pytest.raises(ValueError, match="no 'format' field"):
+            load_archive(directory)
 
     def test_next_id_survives_round_trip(self, tmp_path):
         mem = InMemoryArchive()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Documentation checks: resolvable links and an executable tutorial.
+
+Two guarantees, enforced in CI (the ``docs`` job):
+
+1. **Every intra-repository markdown link resolves.**  All relative
+   links in ``README.md``, ``DESIGN.md``, ``EXPERIMENTS.md`` and
+   ``docs/*.md`` must point at files that exist (anchors and external
+   ``http(s)``/``mailto`` targets are skipped).
+
+2. **The tutorial runs.**  The plain ```` ```python ```` code blocks of
+   ``docs/tutorial.md`` are executed *in order, in one shared
+   namespace*, from a temporary working directory — the tutorial is a
+   continuous session, so renamed APIs or undefined variables fail CI
+   instead of rotting on the page.  Blocks tagged
+   ```` ```python no-run ```` (those needing external files) are only
+   compile-checked.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [--skip-tutorial]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Markdown link/image targets: ``[text](target)`` / ``![alt](target)``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks with their info string.
+_FENCE_RE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [
+        REPO_ROOT / name
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+        if (REPO_ROOT / name).exists()
+    ]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+def check_links() -> list[str]:
+    """Every relative markdown link must resolve from its file's directory."""
+    errors = []
+    for doc in doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link "
+                    f"'{target}' (resolved to {resolved})"
+                )
+    return errors
+
+
+def tutorial_blocks() -> list[tuple[str, str, int]]:
+    """``(tag, source, line)`` per fenced block of the tutorial."""
+    path = REPO_ROOT / "docs" / "tutorial.md"
+    text = path.read_text(encoding="utf-8")
+    blocks = []
+    for match in _FENCE_RE.finditer(text):
+        info = match.group(1).strip()
+        line = text[: match.start()].count("\n") + 2  # first code line
+        blocks.append((info, match.group(2), line))
+    return blocks
+
+
+def check_tutorial() -> list[str]:
+    """Execute runnable blocks sequentially; compile-check ``no-run`` ones."""
+    errors = []
+    namespace: dict = {"__name__": "__tutorial__"}
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="repro-tutorial-") as workdir:
+        os.chdir(workdir)  # tutorial writes files (archive.jsonl, compare.svg)
+        try:
+            for info, source, line in tutorial_blocks():
+                label = f"docs/tutorial.md:{line}"
+                if info == "python no-run":
+                    try:
+                        compile(source, label, "exec")
+                    except SyntaxError as exc:
+                        errors.append(f"{label}: no-run block does not compile: {exc}")
+                    continue
+                if info != "python":
+                    continue  # shell/other fences are not executed
+                print(f"running {label} ...", flush=True)
+                try:
+                    exec(compile(source, label, "exec"), namespace)
+                except Exception as exc:  # report and stop: later blocks depend on it
+                    errors.append(f"{label}: {type(exc).__name__}: {exc}")
+                    break
+        finally:
+            os.chdir(cwd)
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-tutorial",
+        action="store_true",
+        help="only check links (fast; no scenario build)",
+    )
+    args = parser.parse_args(argv)
+
+    errors = check_links()
+    print(f"link check: {len(doc_files())} files, {len(errors)} broken link(s)")
+    if not args.skip_tutorial:
+        errors.extend(check_tutorial())
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    if not errors:
+        print("docs OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
