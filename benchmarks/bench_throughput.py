@@ -22,7 +22,12 @@ Measures, on the standard evaluation world:
   tier served by ``--shards`` loopback :class:`ArchiveShardServer`
   processes (the multi-process deployment of ``docs/distributed.md``):
   per-shard resident points plus request-latency percentiles quantify
-  what the socket hop costs.
+  what the socket hop costs;
+* **replicated archive, degraded** — the same fleet at ``--replication``
+  replicas per shard, with one replica process killed halfway through
+  the query stream: the failover must be invisible (results stay
+  identical to the seed baseline, zero errors surfaced) and the latency
+  of the first post-kill query bounds what a replica death costs.
 
 Every configuration must produce identical top-K routes and scores; the
 benchmark verifies this and records the outcome.  Results are written as
@@ -104,6 +109,12 @@ def main(argv=None) -> int:
         type=int,
         default=2,
         help="loopback shard servers for the remote-archive configuration",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="replicas per shard for the degraded-mode configuration",
     )
     parser.add_argument("--out", type=Path, default=None, help="output JSON path")
     parser.add_argument(
@@ -235,6 +246,43 @@ def main(argv=None) -> int:
         f"p99={percentile(rpc, 0.99) * 1e3:.2f}ms"
     )
 
+    # --- replicated archive: R replicas/shard, one killed mid-run ---------
+    rep_servers = [
+        ArchiveShardServer(i, args.shards, args.tile_size, replica_id=r).start()
+        for i in range(args.shards)
+        for r in range(args.replication)
+    ]
+    rep_addrs = [f"127.0.0.1:{s.address[1]}" for s in rep_servers]
+    replicated = convert_archive(
+        scenario.archive, "remote", args.tile_size, rep_addrs, args.replication
+    )
+    h_rep = HRIS(scenario.network, replicated, HRISConfig())
+    replicated.reset_latencies()
+    kill_at = max(1, len(queries) // 2)
+    res_rep = []
+    lat_rep = []
+    failover_latency = None
+    for qi, query in enumerate(queries):
+        if qi == kill_at:
+            rep_servers[0].stop()  # replica 0 of shard 0 dies mid-run
+        t0 = time.perf_counter()
+        res_rep.append(h_rep.infer_routes(query))
+        dt = time.perf_counter() - t0
+        lat_rep.append(dt)
+        if qi == kill_at:
+            failover_latency = dt
+    t_rep = sum(lat_rep)
+    rep_health = replicated.replica_health()
+    rep_stats = replicated.backend_stats()
+    replicated.close()
+    for server in rep_servers:
+        server.stop()
+    print(
+        f"replicated ({args.shards}x{args.replication}, one replica killed at "
+        f"query {kill_at}): {t_rep:.3f}s  failovers={rep_stats['failovers']}, "
+        f"first post-kill query {failover_latency * 1e3:.1f}ms"
+    )
+
     # --- identity: every configuration must agree exactly -----------------
     ref = result_keys(res_seed)
     identical = {
@@ -244,6 +292,7 @@ def main(argv=None) -> int:
         "forced_pool_vs_seed": result_keys(res_bf) == ref,
         "sharded_vs_seed": result_keys(res_sharded) == ref,
         "remote_vs_seed": result_keys(res_remote) == ref,
+        "replicated_degraded_vs_seed": result_keys(res_rep) == ref,
     }
     print(f"identity: {identical}")
     accuracy = sum(
@@ -326,6 +375,20 @@ def main(argv=None) -> int:
                 }
                 for s in shard_stats
             ],
+        },
+        "replicated_archive": {
+            "num_shards": args.shards,
+            "replication": args.replication,
+            "killed": {"shard": 0, "replica": 0, "before_query": kill_at},
+            "total_s": round(t_rep, 4),
+            "mean_latency_s": round(t_rep / len(queries), 4),
+            "first_post_kill_query_s": round(failover_latency, 4),
+            "overhead_vs_unreplicated": round(t_rep / t_remote, 3),
+            "failovers": rep_stats["failovers"],
+            "demotions": rep_stats["demotions"],
+            "healthy_replicas": rep_stats["healthy_replicas"],
+            "total_replicas": rep_stats["total_replicas"],
+            "per_shard_health": rep_health,
         },
         "speedups": {
             "single_query_engine_vs_seed": round(t_seed / t_engine, 3),

@@ -80,8 +80,20 @@ def _add_archive_options(cmd: argparse.ArgumentParser) -> None:
         default=None,
         metavar="HOST:PORT",
         help=(
-            "address of one archive-serve shard (repeat per shard); "
-            "required with --archive-backend remote"
+            "address of one archive-serve shard (repeat per shard, and per "
+            "replica when the fleet is replicated); required with "
+            "--archive-backend remote"
+        ),
+    )
+    cmd.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        metavar="R",
+        help=(
+            "expected replicas per shard for --archive-backend remote: the "
+            "handshake then fails unless every shard index is served by "
+            "exactly R of the given --shard-addr processes"
         ),
     )
     cmd.add_argument(
@@ -192,7 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=0, help="bind port (0 picks one; it is printed)"
     )
     serve.add_argument(
-        "--shard-index", type=int, required=True, help="this shard's index"
+        "--shard-index", type=int, default=None, help="this shard's index"
+    )
+    serve.add_argument(
+        "--replica-of",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help=(
+            "serve as an additional replica of the given shard index "
+            "(alternative to --shard-index; replicas of a shard must "
+            "receive the same mutation stream to stay interchangeable)"
+        ),
+    )
+    serve.add_argument(
+        "--replica-id",
+        type=int,
+        default=0,
+        help="label for this process within its shard's replica set",
     )
     serve.add_argument(
         "--num-shards", type=int, required=True, help="total shards in the fleet"
@@ -222,11 +251,17 @@ def _load_world(args: argparse.Namespace):
         )
     if args.shard_addr and args.archive_backend != "remote":
         raise _CLIError("--shard-addr only applies to --archive-backend remote")
+    if args.replication is not None:
+        if args.archive_backend != "remote":
+            raise _CLIError("--replication only applies to --archive-backend remote")
+        if args.replication < 1:
+            raise _CLIError("--replication must be a positive replica count")
     return load_scenario(
         args.world,
         archive_backend=args.archive_backend,
         tile_size=args.tile_size,
         shard_addrs=args.shard_addr,
+        replication=args.replication,
     )
 
 
@@ -336,11 +371,21 @@ def _cmd_archive_serve(args: argparse.Namespace) -> int:
     from repro.core.archive import ShardedArchive
     from repro.core.remote import ArchiveShardServer
 
+    if (args.shard_index is None) == (args.replica_of is None):
+        raise _CLIError(
+            "archive-serve needs exactly one of --shard-index or --replica-of"
+        )
+    shard_index = args.shard_index if args.shard_index is not None else args.replica_of
     tile_size = (
         args.tile_size if args.tile_size is not None else ShardedArchive.DEFAULT_TILE_SIZE
     )
     server = ArchiveShardServer(
-        args.shard_index, args.num_shards, tile_size, host=args.host, port=args.port
+        shard_index,
+        args.num_shards,
+        tile_size,
+        host=args.host,
+        port=args.port,
+        replica_id=args.replica_id,
     )
     if args.world is not None:
         scenario = load_scenario(args.world)
@@ -348,8 +393,8 @@ def _cmd_archive_serve(args: argparse.Namespace) -> int:
         print(f"pre-seeded {kept}/{scenario.archive.num_points} archive points")
     host, port = server.address
     print(
-        f"shard {args.shard_index}/{args.num_shards} serving "
-        f"{tile_size:.0f}m tiles on {host}:{port}",
+        f"shard {shard_index}/{args.num_shards} (replica {args.replica_id}) "
+        f"serving {tile_size:.0f}m tiles on {host}:{port}",
         flush=True,
     )
     try:

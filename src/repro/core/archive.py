@@ -136,6 +136,8 @@ class ArchiveBackend(Protocol):
 
     def density_per_km2(self, region: BBox) -> float: ...
 
+    def backend_stats(self) -> Dict[str, object]: ...
+
 
 class _ArchiveBase:
     """Shared trip store and derived queries of every archive backend.
@@ -281,6 +283,21 @@ class _ArchiveBase:
             return 0.0
         return len(self.points_in_bbox(region)) / (region.area / 1_000_000.0)
 
+    # ------------------------------------------------------------- telemetry
+
+    def backend_stats(self) -> Dict[str, object]:
+        """One JSON-able snapshot of this backend's state for monitoring.
+
+        Every backend reports at least ``backend`` / ``n_trajectories`` /
+        ``n_points``; subclasses extend it with their resident-index and
+        (for the remote backend) replication-health figures.
+        """
+        return {
+            "backend": type(self).__name__,
+            "n_trajectories": len(self),
+            "n_points": self.num_points,
+        }
+
     # ------------------------------------------------------------------ hooks
 
     def _on_add(self, trajectory: Trajectory) -> None:
@@ -364,6 +381,15 @@ class InMemoryArchive(_ArchiveBase):
     def index_nbytes(self) -> int:
         """Approximate bytes held by the materialised R-tree (0 if lazy)."""
         return self._index.approx_nbytes() if self._index is not None else 0
+
+    def backend_stats(self) -> Dict[str, object]:
+        stats = super().backend_stats()
+        stats.update(
+            backend="memory",
+            resident_points=self.resident_points,
+            index_bytes=self.index_nbytes(),
+        )
+        return stats
 
 
 #: Historical name of the single-R-tree archive, kept as the default
@@ -547,6 +573,18 @@ class ShardedArchive(_ArchiveBase):
         """
         return sum(tree.approx_nbytes() for tree in self._shards.values())
 
+    def backend_stats(self) -> Dict[str, object]:
+        stats = super().backend_stats()
+        stats.update(
+            backend="sharded",
+            tile_size=self.tile_size,
+            resident_points=self.resident_points,
+            resident_tiles=self.resident_tiles,
+            total_tiles=self.total_tiles,
+            index_bytes=self.index_nbytes(),
+        )
+        return stats
+
 
 #: Backend registry: CLI/IO names accepted by :func:`make_archive`.
 ARCHIVE_BACKENDS = ("memory", "sharded", "remote")
@@ -556,6 +594,7 @@ def make_archive(
     backend: str = "memory",
     tile_size: Optional[float] = None,
     shard_addrs: Optional[Sequence[str]] = None,
+    replication: Optional[int] = None,
 ) -> _ArchiveBase:
     """Construct an empty archive of the requested backend.
 
@@ -568,12 +607,18 @@ def make_archive(
             backend it is validated against the servers' handshake;
             ignored for ``"memory"``.
         shard_addrs: ``host:port`` shard-server addresses; required by
-            (and only meaningful for) the remote backend.
+            (and only meaningful for) the remote backend.  Several
+            servers claiming the same shard index form that shard's
+            replica set.
+        replication: Optional replicas-per-shard count to enforce on the
+            remote backend's handshake (remote only).
 
     Raises:
-        ValueError: On an unknown backend name, or a remote backend
-            without shard addresses.
+        ValueError: On an unknown backend name, a remote backend without
+            shard addresses, or ``replication`` with a local backend.
     """
+    if backend != "remote" and replication is not None:
+        raise ValueError("replication only applies to the remote backend")
     if backend == "memory":
         return InMemoryArchive()
     if backend == "sharded":
@@ -588,7 +633,9 @@ def make_archive(
             )
         from repro.core.remote import RemoteShardedArchive
 
-        return RemoteShardedArchive(shard_addrs, expected_tile_size=tile_size)
+        return RemoteShardedArchive(
+            shard_addrs, expected_tile_size=tile_size, replication=replication
+        )
     raise ValueError(
         f"unknown archive backend {backend!r}; expected one of {ARCHIVE_BACKENDS}"
     )
@@ -599,15 +646,17 @@ def convert_archive(
     backend: str,
     tile_size: Optional[float] = None,
     shard_addrs: Optional[Sequence[str]] = None,
+    replication: Optional[int] = None,
 ) -> _ArchiveBase:
     """Rebuild ``source`` under another backend, *preserving trip ids*.
 
     Identical ids mean identical reference search output (references carry
     ``source_ids``), so a converted archive is a drop-in replacement.
     Converting to ``"remote"`` pushes every observation to the owning
-    shard servers (idempotently, so pre-seeded fleets are fine).
+    shard servers (idempotently, so pre-seeded fleets are fine); with
+    replicated shards every replica receives the push.
     """
-    out = make_archive(backend, tile_size, shard_addrs)
+    out = make_archive(backend, tile_size, shard_addrs, replication)
     for tid in sorted(source._trajectories):
         out._restore(source._trajectories[tid])
     out._next_id = max(out._next_id, source._next_id)

@@ -8,7 +8,7 @@ longer have to fit one machine's memory:
 * :class:`ArchiveShardServer` — a process that **owns** a deterministic
   subset of tiles (see :func:`shard_of_tile`) and answers the archive
   range queries for them over a length-prefixed JSON socket protocol
-  (``repro-remote-v1``, specified in ``docs/distributed.md``);
+  (``repro-remote-v2``, specified in ``docs/distributed.md``);
 * :class:`RemoteShardedArchive` — an
   :class:`~repro.core.archive.ArchiveBackend` client that keeps the trip
   store locally, routes every spatial query to the owning shard servers,
@@ -19,22 +19,47 @@ longer have to fit one machine's memory:
 
 Failure handling is explicit: every request carries a timeout, failed
 requests are retried a bounded number of times with exponential backoff
-(all operations are idempotent, so a retry after a lost reply is safe),
-and a shard that stays unreachable surfaces as a typed
+and full jitter (all operations are idempotent, so a retry after a lost
+reply is safe), and a shard that stays unreachable surfaces as a typed
 :class:`ShardUnavailableError` / :class:`ShardTimeoutError` naming the
 degraded shard — never a hang, never a silent partial answer.
+
+Replication (``repro-remote-v2``): each shard index may be served by a
+**replica set** of several :class:`ArchiveShardServer` processes holding
+identical tile data.  Mutations fan out to every replica of the owning
+shard; reads route to one healthy replica and fail over transparently.
+:class:`RemoteShardedArchive` tracks per-replica health with a
+consecutive-failure circuit breaker: a replica that keeps failing is
+*demoted* (its circuit opens), reads stop routing to it, and after a
+cooldown a half-open ``stats`` probe restores it — but only when its
+point count still matches the mutation stream, so a replica that missed
+a mutation (or restarted empty) is left *stale* rather than silently
+serving divergent answers.  No error reaches the caller while at least
+one current replica of every queried shard survives.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import random
 import socket
 import socketserver
 import struct
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    MutableSequence,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.geo.bbox import BBox
 from repro.geo.point import Point
@@ -49,6 +74,8 @@ __all__ = [
     "ShardProtocolError",
     "ShardUnavailableError",
     "ShardTimeoutError",
+    "ShardExhaustedError",
+    "InjectedFault",
     "shard_of_tile",
     "parse_address",
     "ArchiveShardServer",
@@ -56,12 +83,19 @@ __all__ = [
     "request_shutdown",
 ]
 
-#: Wire-format version token.  Every request carries ``"v": 1`` and the
+#: Wire-format version token.  Every request carries ``"v": 2`` and the
 #: handshake reply carries this string; both sides reject mismatches up
-#: front instead of mis-parsing payloads (see docs/distributed.md).
-PROTOCOL_VERSION = "repro-remote-v1"
+#: front instead of mis-parsing payloads (see docs/distributed.md).  The
+#: ``hello`` op is version-agnostic on the server so that any client can
+#: discover what a server speaks before committing to the dialect.
+PROTOCOL_VERSION = "repro-remote-v2"
 
-_WIRE_V = 1
+_WIRE_V = 2
+
+#: Bound on the per-client request-latency telemetry ring
+#: (:attr:`RemoteShardedArchive.request_latencies`): old samples fall off
+#: instead of growing without bound on long-lived servers.
+LATENCY_WINDOW = 16_384
 
 #: Frame header: one big-endian u32 payload length.
 _HEADER = struct.Struct(">I")
@@ -79,7 +113,7 @@ class RemoteArchiveError(RuntimeError):
 
 
 class ShardProtocolError(RemoteArchiveError):
-    """The peer spoke, but not ``repro-remote-v1`` (version/shape/refusal)."""
+    """The peer spoke, but not ``repro-remote-v2`` (version/shape/refusal)."""
 
 
 class ShardUnavailableError(RemoteArchiveError):
@@ -103,6 +137,53 @@ class ShardUnavailableError(RemoteArchiveError):
 
 class ShardTimeoutError(ShardUnavailableError):
     """The shard accepted connections but never answered within the timeout."""
+
+
+class ShardExhaustedError(ShardUnavailableError):
+    """Every replica of a shard is unavailable — the shard itself is lost.
+
+    Raised by a replicated deployment only after transparent failover ran
+    out of candidates; with a single replica per shard the underlying
+    :class:`ShardUnavailableError` / :class:`ShardTimeoutError` is raised
+    directly instead (the v1 surface).
+
+    Attributes:
+        shard_index: The shard whose whole replica set is down.
+        failures: The per-replica errors, in the order replicas were tried.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        op: str,
+        replicas: int,
+        failures: Sequence["ShardUnavailableError"],
+    ):
+        self.shard_index = shard_index
+        self.op = op
+        self.failures = list(failures)
+        self.attempts = sum(f.attempts for f in self.failures)
+        self.address = self.failures[-1].address if self.failures else ("?", 0)
+        detail = (
+            "; ".join(str(f) for f in self.failures)
+            or "no replica eligible (all demoted as stale)"
+        )
+        RuntimeError.__init__(
+            self,
+            f"shard {shard_index}: all {replicas} replica(s) unavailable "
+            f"for {op!r}: {detail}",
+        )
+
+
+class InjectedFault(Exception):
+    """Raised by a server-side fault hook to sever the connection.
+
+    Not a :class:`RemoteArchiveError`: it lives on the *server*, where the
+    request handler treats it as "crash now" — the connection is dropped
+    without a reply, exactly as if the process died mid-request.  The
+    chaos harness (:mod:`repro.core.chaos`) raises it from
+    :attr:`ArchiveShardServer.fault_hook` callbacks.
+    """
 
 
 # --------------------------------------------------------------- wire helpers
@@ -134,8 +215,16 @@ def _recv_frame(sock: socket.socket) -> Optional[dict]:
         raise ShardProtocolError(f"frame of {length} bytes exceeds the protocol cap")
     body = _recv_exact(sock, length)
     if body is None:
-        raise ShardProtocolError("connection closed mid-frame")
-    return json.loads(body.decode("utf-8"))
+        # A peer that dies mid-reply truncates the frame: that is an
+        # availability event (retry on a fresh connection), not a
+        # protocol violation by a live peer.
+        raise ConnectionError("connection closed mid-frame")
+    decoded = json.loads(body.decode("utf-8"))
+    if not isinstance(decoded, dict):
+        raise ShardProtocolError(
+            f"frame payload is {type(decoded).__name__}, expected an object"
+        )
+    return decoded
 
 
 def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
@@ -181,21 +270,32 @@ class _TCPServer(socketserver.ThreadingTCPServer):
 
 class _ShardRequestHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
-        while True:
-            try:
-                request = _recv_frame(self.request)
-            except (OSError, ValueError, ShardProtocolError):
-                return
-            if request is None:
-                return
-            response = self.server.shard._dispatch(request)
-            try:
-                _send_frame(self.request, response)
-            except OSError:
-                return
-            if request.get("op") == "shutdown" and response.get("ok"):
-                threading.Thread(target=self.server.shutdown, daemon=True).start()
-                return
+        shard = self.server.shard
+        shard._track_connection(self.request)
+        try:
+            while True:
+                try:
+                    request = _recv_frame(self.request)
+                except (OSError, ValueError, ShardProtocolError):
+                    return
+                if request is None:
+                    return
+                hook = shard.fault_hook
+                if hook is not None:
+                    try:
+                        hook(request)
+                    except InjectedFault:
+                        return  # crash-mid-request: drop without replying
+                response = shard._dispatch(request)
+                try:
+                    _send_frame(self.request, response)
+                except OSError:
+                    return
+                if request.get("op") == "shutdown" and response.get("ok"):
+                    threading.Thread(target=self.server.shutdown, daemon=True).start()
+                    return
+        finally:
+            shard._untrack_connection(self.request)
 
 
 class ArchiveShardServer:
@@ -213,12 +313,19 @@ class ArchiveShardServer:
     misconfigured client fails loudly instead of splitting a tile across
     shards (which would break the disjoint-merge guarantee).
 
+    Replication: several servers may share one ``shard_index`` — they
+    form that shard's replica set and are expected to receive identical
+    mutation streams (the client fans mutations out to all of them).
+    ``replica_id`` distinguishes them in handshakes, stats and logs; it
+    carries no routing semantics.
+
     Args:
         shard_index: This shard's index in ``[0, num_shards)``.
         num_shards: Total shards in the deployment.
         tile_size: Tile edge in metres (must match every peer and client).
         host / port: Bind address; port 0 picks an ephemeral port
             (read it back from :attr:`address`).
+        replica_id: This process's label within the shard's replica set.
     """
 
     def __init__(
@@ -228,6 +335,7 @@ class ArchiveShardServer:
         tile_size: float,
         host: str = "127.0.0.1",
         port: int = 0,
+        replica_id: int = 0,
     ) -> None:
         if not 0 <= shard_index < num_shards:
             raise ValueError(f"shard_index {shard_index} outside [0, {num_shards})")
@@ -236,9 +344,16 @@ class ArchiveShardServer:
         self.shard_index = shard_index
         self.num_shards = num_shards
         self.tile_size = float(tile_size)
+        self.replica_id = int(replica_id)
+        #: Optional test/chaos hook called with every decoded request
+        #: before dispatch; raising :class:`InjectedFault` severs the
+        #: connection without a reply (see :mod:`repro.core.chaos`).
+        self.fault_hook: Optional[Callable[[dict], None]] = None
         self._tiles: Dict[Tuple[int, int], Dict[Tuple[int, int], Tuple[float, float]]] = {}
         self._trees: Dict[Tuple[int, int], RTree[Tuple[int, int]]] = {}
         self._lock = threading.RLock()
+        self._conn_lock = threading.Lock()
+        self._active_conns: set = set()
         self._server = _TCPServer((host, port), _ShardRequestHandler)
         self._server.shard = self
         self._thread: Optional[threading.Thread] = None
@@ -262,11 +377,38 @@ class ArchiveShardServer:
         self._server.serve_forever()
 
     def stop(self) -> None:
+        """Stop serving *and* sever live connections.
+
+        Closing only the listener would leave in-flight handler threads
+        answering their persistent connections, which makes an in-process
+        "kill" unfaithful to a process death; tearing the sockets down
+        makes every client see the same reset a crashed replica causes.
+        """
         self._server.shutdown()
         self._server.server_close()
+        with self._conn_lock:
+            conns = list(self._active_conns)
+            self._active_conns.clear()
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+    def _track_connection(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._active_conns.add(sock)
+
+    def _untrack_connection(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._active_conns.discard(sock)
 
     # ---------------------------------------------------------------- state
 
@@ -392,6 +534,11 @@ class ArchiveShardServer:
 
     def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
+        if op == "hello":
+            # Version-agnostic: clients of any dialect may ask what this
+            # server speaks; the reply names the protocol so mismatches
+            # fail with a clear message instead of a mis-parse.
+            return self._op_hello(request)
         if request.get("v") != _WIRE_V:
             return {
                 "ok": False,
@@ -409,15 +556,17 @@ class ArchiveShardServer:
             return {"ok": False, "kind": "bad_request", "error": repr(exc)}
 
     def _op_hello(self, request: dict) -> dict:
-        return {
-            "ok": True,
-            "protocol": PROTOCOL_VERSION,
-            "shard_index": self.shard_index,
-            "num_shards": self.num_shards,
-            "tile_size": self.tile_size,
-            "num_points": self.num_points,
-            "num_tiles": len(self._tiles),
-        }
+        with self._lock:
+            return {
+                "ok": True,
+                "protocol": PROTOCOL_VERSION,
+                "shard_index": self.shard_index,
+                "num_shards": self.num_shards,
+                "replica_id": self.replica_id,
+                "tile_size": self.tile_size,
+                "num_points": self.num_points,
+                "num_tiles": len(self._tiles),
+            }
 
     def _op_ping(self, request: dict) -> dict:
         return {"ok": True}
@@ -436,13 +585,16 @@ class ArchiveShardServer:
                 }
         for tid, idx, x, y in rows:
             self._insert_one(self.tile_key(x, y), (int(tid), int(idx)), (x, y))
-        return {"ok": True, "inserted": len(rows)}
+        # The post-mutation point count lets the client audit replica
+        # convergence: every replica of a shard receives the same stream,
+        # so divergent counts expose a stale replica immediately.
+        return {"ok": True, "inserted": len(rows), "num_points": self.num_points}
 
     def _op_delete(self, request: dict) -> dict:
         rows = request["points"]
         for tid, idx, x, y in rows:
             self._delete_one(self.tile_key(x, y), (int(tid), int(idx)), (x, y))
-        return {"ok": True, "deleted": len(rows)}
+        return {"ok": True, "deleted": len(rows), "num_points": self.num_points}
 
     def _op_search_circles(self, request: dict) -> dict:
         queries = [(Point(x, y), r) for x, y, r in request["queries"]]
@@ -469,6 +621,7 @@ class ArchiveShardServer:
         return {
             "ok": True,
             "shard_index": self.shard_index,
+            "replica_id": self.replica_id,
             "num_points": self.num_points,
             "num_tiles": len(self._tiles),
             "resident_tiles": len(self._trees),
@@ -492,15 +645,24 @@ def _group_pairs(hits: Sequence[Tuple[int, int]]) -> List[List[object]]:
 
 
 class _ShardConnection:
-    """One shard's persistent connection: framing, timeout, bounded retry.
+    """One replica's persistent connection: framing, timeout, bounded retry.
 
-    Every ``repro-remote-v1`` operation is idempotent, so a request whose
+    Every ``repro-remote-v2`` operation is idempotent, so a request whose
     reply was lost can be resent verbatim; the retry schedule is
-    ``retries`` resends with exponential backoff starting at
-    ``backoff_s``.  A request that exhausts the schedule raises
+    ``retries`` resends with *full-jitter* exponential backoff — each
+    wait is drawn uniformly from ``[0, backoff_s · 2^(attempt−1)]``, so
+    concurrent fan-out workers whose retries would otherwise be in
+    lockstep spread their reconnects across a recovering shard instead
+    of stampeding it.  A request that exhausts the schedule raises
     :class:`ShardTimeoutError` (timeouts) or
     :class:`ShardUnavailableError` (connection refusals/resets) — the
     degraded-shard surface callers handle.
+
+    A *malformed* reply (frame over the protocol cap, undecodable JSON,
+    a non-object payload) raises :class:`ShardProtocolError` **and drops
+    the socket**: after a framing error the stream position is unknown,
+    and reusing the connection would poison every subsequent request
+    with leftover bytes.  The next request reconnects cleanly.
     """
 
     def __init__(
@@ -509,13 +671,15 @@ class _ShardConnection:
         timeout_s: float,
         retries: int,
         backoff_s: float,
-        latencies: List[float],
+        latencies: MutableSequence[float],
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.address = address
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
         self._latencies = latencies
+        self._rng = rng if rng is not None else random.Random()
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
 
@@ -526,13 +690,22 @@ class _ShardConnection:
             self._sock = sock
         return self._sock
 
+    def _drop(self) -> None:
+        """Close the (possibly desynced) socket; reconnect lazily."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
     def close(self) -> None:
         with self._lock:
-            if self._sock is not None:
-                try:
-                    self._sock.close()
-                finally:
-                    self._sock = None
+            self._drop()
+
+    def _backoff(self, attempt: int) -> float:
+        """Full-jitter wait before retry ``attempt`` (1-based)."""
+        return self._rng.uniform(0.0, self.backoff_s * (2 ** (attempt - 1)))
 
     def request(self, payload: dict) -> dict:
         op = str(payload.get("op"))
@@ -540,7 +713,7 @@ class _ShardConnection:
         with self._lock:
             for attempt in range(self.retries + 1):
                 if attempt:
-                    time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                    time.sleep(self._backoff(attempt))
                 t0 = time.perf_counter()
                 try:
                     sock = self._connected()
@@ -549,9 +722,17 @@ class _ShardConnection:
                     if response is None:
                         raise ConnectionError("shard closed the connection")
                 except (TimeoutError, socket.timeout, OSError) as exc:
-                    self._sock = None
+                    self._drop()
                     last_error = exc
                     continue
+                except (ShardProtocolError, ValueError) as exc:
+                    # Malformed reply: the frame stream may be desynced —
+                    # never reuse this socket (see class docstring).
+                    self._drop()
+                    raise ShardProtocolError(
+                        f"shard {self.address[0]}:{self.address[1]} sent a "
+                        f"malformed reply to {op!r}: {exc}"
+                    ) from exc
                 finally:
                     self._latencies.append(time.perf_counter() - t0)
                 if not response.get("ok"):
@@ -566,6 +747,278 @@ class _ShardConnection:
         if isinstance(last_error, (TimeoutError, socket.timeout)):
             raise ShardTimeoutError(self.address, op, attempts, cause)
         raise ShardUnavailableError(self.address, op, attempts, cause)
+
+
+# ------------------------------------------------------------- replica sets
+
+
+#: Circuit-breaker states (per replica).
+_CLOSED = "closed"  # healthy: reads may route here
+_OPEN = "open"  # demoted: skipped until the cooldown elapses
+
+
+class _ReplicaState:
+    """One replica's connection plus health bookkeeping."""
+
+    __slots__ = (
+        "conn",
+        "replica_id",
+        "state",
+        "stale",
+        "consecutive_failures",
+        "opened_at",
+        "failures",
+        "successes",
+    )
+
+    def __init__(self, conn: _ShardConnection, replica_id: int) -> None:
+        self.conn = conn
+        self.replica_id = replica_id
+        self.state = _CLOSED
+        #: A stale replica missed a mutation (or its data diverged): it is
+        #: excluded from routing permanently — a liveness probe cannot
+        #: prove its *data* is current, only a resync could.
+        self.stale = False
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.failures = 0
+        self.successes = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.conn.address
+
+    def health(self) -> dict:
+        return {
+            "address": f"{self.address[0]}:{self.address[1]}",
+            "replica_id": self.replica_id,
+            "state": "stale" if self.stale else self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failures": self.failures,
+            "successes": self.successes,
+        }
+
+
+class _ReplicaSet:
+    """One shard's replicas: health-tracked routing, failover, fan-out.
+
+    Reads route to one replica and fail over transparently: candidates
+    are the closed (healthy) replicas in round-robin order, then any
+    demoted replica whose breaker cooldown has elapsed — the latter must
+    first pass a half-open ``stats`` probe whose point count matches the
+    mutation stream this client has driven (``expected_points``), so a
+    replica that restarted empty or missed a write can never serve reads
+    again (it is marked stale instead of restored).
+
+    Mutations fan out to every non-stale replica.  A replica that fails
+    to apply one (or reports a divergent post-mutation point count) is
+    marked stale: partial mutation failure degrades capacity, never
+    correctness.  The mutation succeeds if at least one replica applied
+    it.
+
+    The breaker: ``breaker_threshold`` consecutive request failures open
+    a replica's circuit (reads stop routing to it); after
+    ``breaker_cooldown_s`` seconds it becomes half-open and the next
+    read probes it.  All timing uses a injectable monotonic ``clock`` so
+    the fault-injection tests stay deterministic.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        replicas: Sequence[_ReplicaState],
+        expected_points: int,
+        breaker_threshold: int,
+        breaker_cooldown_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.shard_index = shard_index
+        self.replicas = list(replicas)
+        self.expected_points = expected_points
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._rotation = 0
+        self.failovers = 0
+        self.demotions = 0
+        self.restorations = 0
+
+    # ------------------------------------------------------------- breaker
+
+    def _record_failure(self, replica: _ReplicaState) -> None:
+        with self._lock:
+            replica.failures += 1
+            replica.consecutive_failures += 1
+            if (
+                replica.state == _CLOSED
+                and replica.consecutive_failures >= self.breaker_threshold
+            ):
+                replica.state = _OPEN
+                replica.opened_at = self._clock()
+                self.demotions += 1
+            elif replica.state == _OPEN:
+                replica.opened_at = self._clock()  # restart the cooldown
+
+    def _record_success(self, replica: _ReplicaState) -> None:
+        with self._lock:
+            replica.successes += 1
+            replica.consecutive_failures = 0
+            if replica.state == _OPEN and not replica.stale:
+                replica.state = _CLOSED
+                self.restorations += 1
+
+    def _mark_stale(self, replica: _ReplicaState) -> None:
+        with self._lock:
+            if not replica.stale:
+                replica.stale = True
+                self.demotions += 1
+
+    def _cooldown_elapsed(self, replica: _ReplicaState, now: float) -> bool:
+        return (now - replica.opened_at) >= self.breaker_cooldown_s
+
+    def _read_candidates(self) -> List[_ReplicaState]:
+        """Healthy replicas (round-robin), then probe-eligible demoted ones."""
+        with self._lock:
+            closed = [
+                r for r in self.replicas if r.state == _CLOSED and not r.stale
+            ]
+            if closed:
+                start = self._rotation % len(closed)
+                self._rotation += 1
+                closed = closed[start:] + closed[:start]
+            now = self._clock()
+            half_open = [
+                r
+                for r in self.replicas
+                if r.state == _OPEN
+                and not r.stale
+                and self._cooldown_elapsed(r, now)
+            ]
+        return closed + half_open
+
+    def _try_restore(self, replica: _ReplicaState) -> bool:
+        """Half-open probe: liveness *and* data currency, then close."""
+        try:
+            stats = replica.conn.request({"op": "stats", "v": _WIRE_V})
+        except RemoteArchiveError:
+            self._record_failure(replica)
+            return False
+        if int(stats["num_points"]) != self.expected_points:
+            # Alive but missing data (restarted empty / missed writes):
+            # restoring it would silently break bit-identity.
+            self._mark_stale(replica)
+            return False
+        self._record_success(replica)
+        return True
+
+    def _maybe_probe_demoted(self) -> None:
+        """Opportunistic restore of one cooled-down replica after a read.
+
+        Keeps capacity recovering even while healthy peers absorb all
+        reads; the cooldown bounds the probe rate, and a failed probe
+        restarts it.
+        """
+        with self._lock:
+            now = self._clock()
+            eligible = [
+                r
+                for r in self.replicas
+                if r.state == _OPEN
+                and not r.stale
+                and self._cooldown_elapsed(r, now)
+            ]
+        if eligible:
+            self._try_restore(eligible[0])
+
+    # -------------------------------------------------------------- routing
+
+    def request(self, payload: dict) -> dict:
+        """Serve a read from one healthy replica, failing over as needed."""
+        failures: List[ShardUnavailableError] = []
+        candidates = self._read_candidates()
+        for replica in candidates:
+            if replica.state == _OPEN:
+                if not self._try_restore(replica):
+                    continue
+            try:
+                response = replica.conn.request(payload)
+            except ShardUnavailableError as exc:
+                self._record_failure(replica)
+                failures.append(exc)
+                self.failovers += 1
+                continue
+            self._record_success(replica)
+            self._maybe_probe_demoted()
+            return response
+        op = str(payload.get("op"))
+        if len(self.replicas) == 1 and len(failures) == 1:
+            # Unreplicated shard: surface the underlying typed error
+            # (ShardTimeoutError vs ShardUnavailableError) unchanged.
+            raise failures[0]
+        raise ShardExhaustedError(self.shard_index, op, len(self.replicas), failures)
+
+    def mutate(self, payload: dict) -> dict:
+        """Fan a mutation out to every non-stale replica.
+
+        Returns the first successful reply.  Replicas that fail to apply
+        the mutation — or disagree with the first success on the
+        post-mutation point count — are marked stale.
+        """
+        successes: List[Tuple[_ReplicaState, dict]] = []
+        failures: List[ShardUnavailableError] = []
+        now = self._clock()
+        for replica in self.replicas:
+            if replica.stale:
+                continue
+            if replica.state == _OPEN and not self._cooldown_elapsed(replica, now):
+                # Known-dead and not yet probeable: it misses this write
+                # either way, so demote it to stale without paying the
+                # connection timeout.
+                self._mark_stale(replica)
+                continue
+            try:
+                response = replica.conn.request(payload)
+            except ShardUnavailableError as exc:
+                self._record_failure(replica)
+                self._mark_stale(replica)
+                failures.append(exc)
+                continue
+            successes.append((replica, response))
+        if not successes:
+            op = str(payload.get("op"))
+            if len(self.replicas) == 1 and len(failures) == 1:
+                raise failures[0]
+            raise ShardExhaustedError(
+                self.shard_index, op, len(self.replicas), failures
+            )
+        authoritative = successes[0][1].get("num_points")
+        for replica, response in successes:
+            if response.get("num_points") != authoritative:
+                self._mark_stale(replica)
+            else:
+                self._record_success(replica)
+        if authoritative is not None:
+            with self._lock:
+                self.expected_points = int(authoritative)
+        return successes[0][1]
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.conn.close()
+
+    def health(self) -> dict:
+        with self._lock:
+            return {
+                "shard_index": self.shard_index,
+                "expected_points": self.expected_points,
+                "failovers": self.failovers,
+                "demotions": self.demotions,
+                "restorations": self.restorations,
+                "replicas": [r.health() for r in self.replicas],
+            }
 
 
 class RemoteShardedArchive(_ArchiveBase):
@@ -587,17 +1040,33 @@ class RemoteShardedArchive(_ArchiveBase):
     locally without re-pushing points.
 
     Construction performs the ``hello`` handshake against every address
-    and validates the deployment: protocol version, one server per shard
-    index in ``[0, num_shards)``, and a single tile size.
+    and validates the deployment: protocol version, at least one server
+    per shard index in ``[0, num_shards)``, a single tile size, and —
+    when several servers claim the same shard index — that the replicas
+    of each shard agree on their point count (they form that shard's
+    replica set; see :class:`_ReplicaSet` for the routing, failover and
+    circuit-breaker semantics).
 
     Args:
-        addresses: One ``"host:port"`` (or ``(host, port)``) per shard,
+        addresses: One ``"host:port"`` (or ``(host, port)``) per server,
             in any order — servers are identified by their handshake
-            ``shard_index``, not by list position.
+            ``shard_index``, not by list position; several servers with
+            the same index form that shard's replica set.
         timeout_s: Per-request socket timeout.
         retries: Resends after a failed request (bounded; idempotent ops).
-        backoff_s: First retry delay; doubles per further attempt.
+        backoff_s: Base retry delay; the wait before retry *n* is drawn
+            uniformly from ``[0, backoff_s · 2^(n−1)]`` (full jitter).
         expected_tile_size: Optional cross-check against the handshake.
+        replication: Optional replica count to enforce — every shard
+            must then have exactly this many servers.
+        breaker_threshold: Consecutive request failures that open a
+            replica's circuit (each already covers the bounded retry
+            schedule, so the default demotes on the first exhaustion).
+        breaker_cooldown_s: Seconds a demoted replica waits before the
+            half-open probe may restore it.
+        latency_window: Cap on the request-latency telemetry ring.
+        jitter_seed: Seed for the backoff jitter streams (tests); the
+            default seeds from the OS.
     """
 
     def __init__(
@@ -607,22 +1076,36 @@ class RemoteShardedArchive(_ArchiveBase):
         retries: int = 2,
         backoff_s: float = 0.05,
         expected_tile_size: Optional[float] = None,
+        replication: Optional[int] = None,
+        breaker_threshold: int = 1,
+        breaker_cooldown_s: float = 1.0,
+        latency_window: int = LATENCY_WINDOW,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         if not addresses:
             raise ValueError("a remote archive needs at least one shard address")
+        if replication is not None and replication < 1:
+            raise ValueError("replication must be a positive replica count")
         super().__init__()
-        self.request_latencies: List[float] = []
+        self.request_latencies: MutableSequence[float] = deque(maxlen=latency_window)
         self._timeout_s = timeout_s
         self._retries = retries
         self._backoff_s = backoff_s
+        seeder = random.Random(jitter_seed)
         connections = [
             _ShardConnection(
-                parse_address(a), timeout_s, retries, backoff_s, self.request_latencies
+                parse_address(a),
+                timeout_s,
+                retries,
+                backoff_s,
+                self.request_latencies,
+                rng=random.Random(seeder.getrandbits(64)),
             )
             for a in addresses
         ]
-        by_index: Dict[int, _ShardConnection] = {}
+        by_index: Dict[int, List[Tuple[_ShardConnection, dict]]] = {}
         tile_size: Optional[float] = None
+        num_shards: Optional[int] = None
         for conn in connections:
             hello = conn.request({"op": "hello", "v": _WIRE_V})
             if hello.get("protocol") != PROTOCOL_VERSION:
@@ -630,17 +1113,13 @@ class RemoteShardedArchive(_ArchiveBase):
                     f"shard {conn.address} speaks {hello.get('protocol')!r}, "
                     f"expected {PROTOCOL_VERSION!r}"
                 )
-            if int(hello["num_shards"]) != len(connections):
+            n = int(hello["num_shards"])
+            if num_shards is None:
+                num_shards = n
+            elif n != num_shards:
                 raise ShardProtocolError(
-                    f"shard {conn.address} is part of a "
-                    f"{hello['num_shards']}-shard deployment but "
-                    f"{len(connections)} address(es) were given"
-                )
-            index = int(hello["shard_index"])
-            if index in by_index:
-                raise ShardProtocolError(
-                    f"two servers claim shard index {index}: "
-                    f"{by_index[index].address} and {conn.address}"
+                    f"server {conn.address} is part of a {n}-shard deployment "
+                    f"but its peers report {num_shards} shards"
                 )
             size = float(hello["tile_size"])
             if tile_size is None:
@@ -650,15 +1129,52 @@ class RemoteShardedArchive(_ArchiveBase):
                     f"inconsistent tile sizes across shards: {tile_size} vs "
                     f"{size} at {conn.address}"
                 )
-            by_index[index] = conn
-        assert tile_size is not None
+            by_index.setdefault(int(hello["shard_index"]), []).append((conn, hello))
+        assert tile_size is not None and num_shards is not None
+        missing = sorted(set(range(num_shards)) - set(by_index))
+        extraneous = sorted(set(by_index) - set(range(num_shards)))
+        if missing or extraneous:
+            raise ShardProtocolError(
+                f"shard(s) {missing or extraneous} of the {num_shards}-shard "
+                f"deployment have no server among the given addresses"
+                if missing
+                else f"server(s) claim shard(s) {extraneous} outside the "
+                f"{num_shards}-shard deployment"
+            )
         if expected_tile_size is not None and tile_size != float(expected_tile_size):
             raise ShardProtocolError(
                 f"shards use tile_size={tile_size}, caller expected "
                 f"{float(expected_tile_size)}"
             )
         self._tile_size = tile_size
-        self._connections = [by_index[i] for i in range(len(connections))]
+        self._shards: List[_ReplicaSet] = []
+        for index in range(num_shards):
+            members = by_index[index]
+            if replication is not None and len(members) != replication:
+                raise ShardProtocolError(
+                    f"shard {index} has {len(members)} replica(s) at "
+                    f"{[m[0].address for m in members]} but --replication "
+                    f"{replication} was requested"
+                )
+            counts = {int(h["num_points"]) for __, h in members}
+            if len(counts) > 1:
+                raise ShardProtocolError(
+                    f"replicas of shard {index} diverge before any query: "
+                    f"point counts {sorted(counts)} across "
+                    f"{[m[0].address for m in members]}"
+                )
+            self._shards.append(
+                _ReplicaSet(
+                    index,
+                    [
+                        _ReplicaState(conn, int(h.get("replica_id", i)))
+                        for i, (conn, h) in enumerate(members)
+                    ],
+                    expected_points=counts.pop(),
+                    breaker_threshold=breaker_threshold,
+                    breaker_cooldown_s=breaker_cooldown_s,
+                )
+            )
         self._executor_lock = threading.Lock()
         self._executor = None
 
@@ -670,7 +1186,12 @@ class RemoteShardedArchive(_ArchiveBase):
 
     @property
     def num_shards(self) -> int:
-        return len(self._connections)
+        return len(self._shards)
+
+    @property
+    def replication(self) -> List[int]:
+        """Replica count per shard index."""
+        return [len(s.replicas) for s in self._shards]
 
     def tile_key(self, p: Point) -> Tuple[int, int]:
         return (
@@ -680,8 +1201,8 @@ class RemoteShardedArchive(_ArchiveBase):
 
     def close(self) -> None:
         """Drop sockets and the fan-out thread pool (reconnects lazily)."""
-        for conn in self._connections:
-            conn.close()
+        for shard in self._shards:
+            shard.close()
         with self._executor_lock:
             if self._executor is not None:
                 self._executor.shutdown(wait=False)
@@ -711,20 +1232,31 @@ class RemoteShardedArchive(_ArchiveBase):
         with self._executor_lock:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
-                    max_workers=max(1, len(self._connections)),
+                    max_workers=max(1, len(self._shards)),
                     thread_name_prefix="repro-remote",
                 )
             return self._executor
 
-    def _fan_out(self, payloads: Dict[int, dict]) -> Dict[int, dict]:
-        """Issue one request per shard concurrently; raise on any failure."""
+    def _fan_out(
+        self, payloads: Dict[int, dict], mutate: bool = False
+    ) -> Dict[int, dict]:
+        """Issue one request per shard concurrently; raise on any failure.
+
+        Reads route to one healthy replica per shard (with transparent
+        failover); mutations fan out to every replica of each shard.
+        """
         if not payloads:
             return {}
+
+        def call(index: int, payload: dict) -> dict:
+            shard = self._shards[index]
+            return shard.mutate(payload) if mutate else shard.request(payload)
+
         if len(payloads) == 1:
             ((index, payload),) = payloads.items()
-            return {index: self._connections[index].request(payload)}
+            return {index: call(index, payload)}
         futures = {
-            index: self._pool().submit(self._connections[index].request, payload)
+            index: self._pool().submit(call, index, payload)
             for index, payload in payloads.items()
         }
         return {index: future.result() for index, future in futures.items()}
@@ -738,7 +1270,7 @@ class RemoteShardedArchive(_ArchiveBase):
 
     def _shards_for_boxes(self, boxes: Sequence[BBox]) -> Dict[int, List[int]]:
         """Shard index → indices of the boxes whose tiles it may own."""
-        n = len(self._connections)
+        n = len(self._shards)
         out: Dict[int, List[int]] = {}
         for bi, box in enumerate(boxes):
             ix0 = math.floor(box.min_x / self._tile_size)
@@ -762,7 +1294,7 @@ class RemoteShardedArchive(_ArchiveBase):
 
     def _rows_by_shard(self, trajectory: Trajectory) -> Dict[int, List[List[float]]]:
         rows: Dict[int, List[List[float]]] = {}
-        n = len(self._connections)
+        n = len(self._shards)
         for i, p in enumerate(trajectory.points):
             owner = shard_of_tile(self.tile_key(p.point), n)
             rows.setdefault(owner, []).append(
@@ -775,7 +1307,8 @@ class RemoteShardedArchive(_ArchiveBase):
             {
                 shard: {"op": "insert", "v": _WIRE_V, "points": rows}
                 for shard, rows in self._rows_by_shard(trajectory).items()
-            }
+            },
+            mutate=True,
         )
 
     def _on_remove(self, trajectory: Trajectory) -> None:
@@ -783,7 +1316,8 @@ class RemoteShardedArchive(_ArchiveBase):
             {
                 shard: {"op": "delete", "v": _WIRE_V, "points": rows}
                 for shard, rows in self._rows_by_shard(trajectory).items()
-            }
+            },
+            mutate=True,
         )
 
     def attach_trips(self, trips: Iterable[Trajectory]) -> None:
@@ -880,28 +1414,68 @@ class RemoteShardedArchive(_ArchiveBase):
     # ------------------------------------------------------------ telemetry
 
     def ping(self) -> List[float]:
-        """Round-trip seconds per shard (raises on a degraded shard)."""
+        """Round-trip seconds per shard (served by one healthy replica;
+        raises only when a whole replica set is degraded)."""
         out = []
-        for conn in self._connections:
+        for shard in self._shards:
             t0 = time.perf_counter()
-            conn.request({"op": "ping", "v": _WIRE_V})
+            shard.request({"op": "ping", "v": _WIRE_V})
             out.append(time.perf_counter() - t0)
         return out
 
     def shard_stats(self) -> List[dict]:
-        """Per-shard resident-size stats, ordered by shard index."""
+        """Per-shard resident-size stats, ordered by shard index.
+
+        Each shard's stats come from whichever replica currently serves
+        its reads (``replica_id`` in the payload names it).
+        """
         responses = self._fan_out(
             {
                 shard: {"op": "stats", "v": _WIRE_V}
-                for shard in range(len(self._connections))
+                for shard in range(len(self._shards))
             }
         )
         out = []
-        for shard in range(len(self._connections)):
+        for shard in range(len(self._shards)):
             stats = dict(responses[shard])
             stats.pop("ok", None)
             out.append(stats)
         return out
+
+    def replica_health(self) -> List[dict]:
+        """Per-shard health: breaker states, failover/demotion counters.
+
+        Purely local bookkeeping — no network traffic — so it is safe to
+        poll from monitoring even while the fleet is degraded.
+        """
+        return [shard.health() for shard in self._shards]
+
+    @property
+    def failover_count(self) -> int:
+        """Reads that were transparently retried against a peer replica."""
+        return sum(s.failovers for s in self._shards)
+
+    def backend_stats(self) -> dict:
+        health = self.replica_health()
+        return {
+            "backend": "remote",
+            "n_trajectories": len(self),
+            "n_points": self.num_points,
+            "num_shards": self.num_shards,
+            "replication": self.replication,
+            "healthy_replicas": sum(
+                1
+                for shard in health
+                for replica in shard["replicas"]
+                if replica["state"] == "closed"
+            ),
+            "total_replicas": sum(len(s["replicas"]) for s in health),
+            "failovers": sum(s["failovers"] for s in health),
+            "demotions": sum(s["demotions"] for s in health),
+            "restorations": sum(s["restorations"] for s in health),
+            "latency_window": self.request_latencies.maxlen,
+            "latencies_recorded": len(self.request_latencies),
+        }
 
 
 def _canonical_near_map(raw: Dict[int, List[int]]) -> Dict[int, List[int]]:

@@ -54,6 +54,7 @@ def load_scenario(
     archive_backend: str = "memory",
     tile_size: Optional[float] = None,
     shard_addrs: Optional[Sequence[str]] = None,
+    replication: Optional[int] = None,
 ) -> Scenario:
     """Read a scenario saved by :func:`save_scenario`.
 
@@ -69,6 +70,9 @@ def load_scenario(
         shard_addrs: ``host:port`` shard servers (remote backend only).
             Archive points are pushed to the owning shards as trips load;
             pushes are idempotent, so pre-seeded fleets are fine.
+        replication: Expected replicas per shard (remote backend only);
+            the handshake fails unless every shard has exactly this many
+            servers among ``shard_addrs``.
 
     Raises:
         FileNotFoundError: If any artefact is missing.
@@ -76,7 +80,7 @@ def load_scenario(
     """
     directory = Path(directory)
     network = load_network(directory / _NETWORK_FILE)
-    archive = make_archive(archive_backend, tile_size, shard_addrs)
+    archive = make_archive(archive_backend, tile_size, shard_addrs, replication)
     for trip in load_trajectories(directory / _ARCHIVE_FILE):
         archive.add(trip)
     with open(directory / _QUERIES_FILE, "r", encoding="utf-8") as f:

@@ -178,6 +178,7 @@ def with_archive_backend(
     backend: str,
     tile_size: Optional[float] = None,
     shard_addrs: Optional[Sequence[str]] = None,
+    replication: Optional[int] = None,
 ) -> Scenario:
     """The same scenario with its archive rebuilt under another backend.
 
@@ -191,7 +192,9 @@ def with_archive_backend(
 
     return dataclasses.replace(
         scenario,
-        archive=convert_archive(scenario.archive, backend, tile_size, shard_addrs),
+        archive=convert_archive(
+            scenario.archive, backend, tile_size, shard_addrs, replication
+        ),
     )
 
 
@@ -201,6 +204,7 @@ def standard_scenario(
     archive_backend: str = "memory",
     tile_size: Optional[float] = None,
     shard_addrs: Optional[Sequence[str]] = None,
+    replication: Optional[int] = None,
 ) -> Scenario:
     """The default evaluation world used by most figures.
 
@@ -221,7 +225,7 @@ def standard_scenario(
     )
     if archive_backend != "memory":
         scenario = with_archive_backend(
-            scenario, archive_backend, tile_size, shard_addrs
+            scenario, archive_backend, tile_size, shard_addrs, replication
         )
     return scenario
 

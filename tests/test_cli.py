@@ -45,6 +45,15 @@ class TestParser:
                 ["infer", "--world", "x", "--method", "bogus"]
             )
 
+    def test_archive_serve_replica_of_parses(self):
+        args = build_parser().parse_args(
+            ["archive-serve", "--replica-of", "1", "--num-shards", "2",
+             "--replica-id", "3"]
+        )
+        assert args.shard_index is None
+        assert args.replica_of == 1
+        assert args.replica_id == 3
+
 
 class TestCommands:
     def test_generate_creates_artifacts(self, world_dir):
@@ -203,6 +212,62 @@ class TestCommands:
         )
         assert args.port == 0
         assert args.host == "127.0.0.1"
+        assert args.replica_id == 0
+
+    def test_archive_serve_requires_exactly_one_identity(self, capsys):
+        assert main(["archive-serve", "--num-shards", "2"]) == 2
+        assert "--shard-index or --replica-of" in capsys.readouterr().err
+        assert (
+            main(
+                ["archive-serve", "--shard-index", "0", "--replica-of", "0",
+                 "--num-shards", "2"]
+            )
+            == 2
+        )
+        assert "--shard-index or --replica-of" in capsys.readouterr().err
+
+    def test_replication_without_remote_backend_rejected(self, world_dir, capsys):
+        code = main(
+            ["infer", "--world", str(world_dir), "--query", "0",
+             "--replication", "2"]
+        )
+        assert code == 2
+        assert "remote" in capsys.readouterr().err
+
+    def test_infer_replicated_fleet_matches_memory(self, world_dir, capsys):
+        """R=2 loopback fleet behind --replication 2: identical routes."""
+        from repro.core.remote import ArchiveShardServer
+
+        servers = [
+            ArchiveShardServer(i, 2, 700.0, replica_id=r).start()
+            for i in range(2)
+            for r in range(2)
+        ]
+        addrs = [f"127.0.0.1:{s.address[1]}" for s in servers]
+        try:
+            args = [
+                "infer", "--world", str(world_dir), "--query", "0",
+                "--interval", "240",
+            ]
+
+            def route_lines(text):
+                return [line for line in text.splitlines() if "log-score" in line]
+
+            assert main(args) == 0
+            out_memory = capsys.readouterr().out
+            remote_args = args + [
+                "--archive-backend", "remote", "--tile-size", "700",
+                "--replication", "2",
+            ]
+            for addr in addrs:
+                remote_args += ["--shard-addr", addr]
+            assert main(remote_args) == 0
+            out_remote = capsys.readouterr().out
+            assert route_lines(out_remote) == route_lines(out_memory)
+            assert route_lines(out_memory)
+        finally:
+            for s in servers:
+                s.stop()
 
     def test_infer_persists_and_reuses_landmarks(self, world_dir, capsys):
         import json

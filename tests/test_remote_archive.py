@@ -295,11 +295,13 @@ class TestFailureSurface:
             for server in servers:
                 server.stop()
 
-    def test_duplicate_shard_index_rejected(self):
+    def test_missing_shard_rejected(self):
+        # Two servers for shard 0 form a legal replica set, but shard 1 of
+        # the declared 2-shard deployment has no server at all.
         servers = [ArchiveShardServer(0, 2, TILE).start() for __ in range(2)]
         addrs = [f"127.0.0.1:{s.address[1]}" for s in servers]
         try:
-            with pytest.raises(ShardProtocolError, match="claim shard index"):
+            with pytest.raises(ShardProtocolError, match="have no server"):
                 RemoteShardedArchive(addrs)
         finally:
             for server in servers:
