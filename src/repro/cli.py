@@ -347,10 +347,13 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             enabled=not args.no_landmark_cache,
         ),
     )
+    # Competitors share the HRIS engine: same candidate cache, stitch
+    # bridges and (per the config) batched transition oracle — results are
+    # identical to standalone construction, only the work is shared.
     matchers = {
-        "IVMM": IVMMMatcher(network),
-        "ST-matching": STMatcher(network),
-        "incremental": IncrementalMatcher(network),
+        "IVMM": IVMMMatcher(network, engine=hris.engine),
+        "ST-matching": STMatcher(network, engine=hris.engine),
+        "incremental": IncrementalMatcher(network, engine=hris.engine),
     }
     table = ExperimentTable("accuracy vs sampling interval", "interval_min")
     for interval in args.intervals:

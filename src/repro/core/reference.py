@@ -159,6 +159,15 @@ class ReferenceSearchConfig:
             "incorporate the time" extension of the paper's future work
             (commute-hour patterns differ from midnight patterns).  None
             (the default, and the paper's behaviour) disables the filter.
+        splice_network_gap: Score splice joints by *network* distance, not
+            just the euclidean ε test — two observations ε apart across a
+            river with no bridge are not actually joinable.  Requires a
+            routing engine on the search; its batched transition oracle
+            answers every joint's distance from one frontier sweep per
+            tail-side node.  Off by default (the paper, and the identity
+            gates, use the pure euclidean Definition 7).
+        splice_gap_detour: Max network/euclidean detour ratio a splice
+            joint may have when ``splice_network_gap`` is on.
     """
 
     phi: float = 500.0
@@ -167,20 +176,31 @@ class ReferenceSearchConfig:
     splice_when_fewer_than: int = 5
     max_references: int = 60
     time_of_day_window_s: Optional[float] = None
+    splice_network_gap: bool = False
+    splice_gap_detour: float = 3.0
 
 
 class ReferenceSearch:
-    """Searches an archive for the references of a query-point pair."""
+    """Searches an archive for the references of a query-point pair.
+
+    Args:
+        engine: Optional :class:`~repro.roadnet.engine.RoutingEngine`.
+            Only consulted when ``config.splice_network_gap`` is on, where
+            its many-to-many transition oracle scores all splice joints of
+            a pair in batched sweeps instead of per-joint routing calls.
+    """
 
     def __init__(
         self,
         archive: ArchiveBackend,
         network: RoadNetwork,
         config: ReferenceSearchConfig = ReferenceSearchConfig(),
+        engine=None,
     ) -> None:
         self._archive = archive
         self._network = network
         self._config = config
+        self._engine = engine
 
     def search(self, qi: GPSPoint, qi1: GPSPoint) -> List[Reference]:
         """All references w.r.t. ``<q_i, q_{i+1}>``, simple ones first.
@@ -294,6 +314,60 @@ class ReferenceSearch:
     ) -> bool:
         return all(p.distance_to(qi) + p.distance_to(qi1) <= budget for p in points)
 
+    def _network_reachable_pairs(
+        self,
+        best_pair: Dict[Tuple[int, int], Tuple[float, int, int]],
+        tails: Dict[int, Tuple[int, Trajectory]],
+        heads: Dict[int, Tuple[int, Trajectory]],
+    ) -> Dict[Tuple[int, int], Tuple[float, int, int]]:
+        """Drop splice joints that are close in the plane but far on the road.
+
+        Each joint's two observations are projected onto their nearest
+        segments; the joint survives when the network distance between the
+        projections stays within ``splice_gap_detour`` times ε.  All joints
+        of the pair are announced to the engine's transition oracle first,
+        so a table oracle serves them from one sweep per tail-side node.
+        """
+        cfg = self._config
+        bound = cfg.splice_epsilon * cfg.splice_gap_detour
+        oracle = self._engine.transition_oracle(bound)
+        projections: Dict[Tuple[float, float], object] = {}
+
+        def project(p: Point):
+            key = (p.x, p.y)
+            cand = projections.get(key)
+            if cand is None:
+                near = self._network.nearest_segments(p, 1)
+                cand = near[0] if near else None
+                projections[key] = cand
+            return cand
+
+        joints = []
+        for key, (cost, a_idx, b_idx) in best_pair.items():
+            a_tid, b_tid = key
+            pa = self._archive.trajectory(a_tid).points[a_idx].point
+            pb = self._archive.trajectory(b_tid).points[b_idx].point
+            ca, cb = project(pa), project(pb)
+            if ca is None or cb is None:
+                continue
+            joints.append((key, (cost, a_idx, b_idx), ca, cb))
+        oracle.prepare(
+            (ca.segment.end for __, __, ca, __ in joints),
+            (cb.segment.start for __, __, __, cb in joints),
+        )
+
+        kept: Dict[Tuple[int, int], Tuple[float, int, int]] = {}
+        for key, value, ca, cb in joints:
+            gap = oracle.route_distance_between_projections(
+                ca.segment.segment_id,
+                ca.projection.offset,
+                cb.segment.segment_id,
+                cb.projection.offset,
+            )
+            if gap <= bound:
+                kept[key] = value
+        return kept
+
     def _spliced_references(
         self,
         qi: GPSPoint,
@@ -357,6 +431,9 @@ class ReferenceSearch:
                     key = (a_tid, b_tid)
                     if key not in best_pair or cost < best_pair[key][0]:
                         best_pair[key] = (cost, a_idx, b_idx)
+
+        if self._config.splice_network_gap and self._engine is not None:
+            best_pair = self._network_reachable_pairs(best_pair, tails, heads)
 
         out: List[Reference] = []
         for (a_tid, b_tid), (__, a_idx, b_idx) in best_pair.items():

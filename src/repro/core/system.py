@@ -40,7 +40,12 @@ from repro.core.scoring import (
 from repro.core.traverse_graph import TGIConfig, TraverseGraphInference
 from repro.geo.point import Point
 from repro.mapmatching.base import MapMatcher, MatchResult
-from repro.roadnet.engine import EngineConfig, EngineStats, RoutingEngine
+from repro.roadnet.engine import (
+    TRANSITION_ORACLES,
+    EngineConfig,
+    EngineStats,
+    RoutingEngine,
+)
 from repro.roadnet.network import RoadNetwork
 from repro.roadnet.shortest_path import LandmarkIndex
 from repro.roadnet.route import Route
@@ -67,6 +72,10 @@ class HRISConfig:
         enable_splicing: Search spliced references at all.
         splice_when_fewer_than: Splice only when fewer simple references
             than this were found (splicing targets data-sparse areas).
+        splice_network_gap: Validate splice joints by network distance via
+            the engine's batched transition oracle (see
+            :class:`~repro.core.reference.ReferenceSearchConfig`); off by
+            default — the paper's Definition 7 is purely euclidean.
         local_method: ``"hybrid"`` (default), ``"tgi"`` or ``"nni"``.
         entropy_floor: Popularity entropy floor (see scoring module).
         normalize_entropy: Normalise the popularity entropy factor to
@@ -94,6 +103,14 @@ class HRISConfig:
         candidate_cache_size: Entries of the candidate-edge cache.
         support_cache_size: Entries of the reference-support cache.
         oracle_cache_size: Source tables held by the distance oracle.
+        transition_oracle: ``"per_pair"`` (seed behaviour: one bounded
+            Dijkstra per missed source) or ``"table"`` (many-to-many
+            :class:`~repro.roadnet.table_oracle.DistanceTableOracle`:
+            resumable batched sweeps over announced frontiers).  Results
+            are bit-identical either way.
+        bidirectional: Route point-to-point engine queries with
+            bidirectional ALT instead of unidirectional A*.  Routes and
+            distances are identical; only the searched volume shrinks.
     """
 
     phi: float = 500.0
@@ -108,6 +125,7 @@ class HRISConfig:
     splice_epsilon: float = 300.0
     enable_splicing: bool = True
     splice_when_fewer_than: int = 5
+    splice_network_gap: bool = False
     local_method: str = "hybrid"
     entropy_floor: float = 0.05
     normalize_entropy: bool = True
@@ -124,12 +142,18 @@ class HRISConfig:
     candidate_cache_size: int = 65_536
     support_cache_size: int = 16_384
     oracle_cache_size: int = 2_048
+    transition_oracle: str = "per_pair"
+    bidirectional: bool = False
 
     def __post_init__(self) -> None:
         if self.local_method not in ("hybrid", "tgi", "nni"):
             raise ValueError(f"unknown local_method {self.local_method!r}")
         if self.n_landmarks < 0:
             raise ValueError("n_landmarks must be non-negative")
+        if self.transition_oracle not in TRANSITION_ORACLES:
+            raise ValueError(
+                f"unknown transition_oracle {self.transition_oracle!r}"
+            )
 
     def tgi_config(self) -> TGIConfig:
         return TGIConfig(
@@ -161,6 +185,7 @@ class HRISConfig:
             splice_when_fewer_than=self.splice_when_fewer_than,
             max_references=self.max_references,
             time_of_day_window_s=self.time_of_day_window_s,
+            splice_network_gap=self.splice_network_gap,
         )
 
     def engine_config(self) -> EngineConfig:
@@ -170,6 +195,8 @@ class HRISConfig:
             candidate_cache_size=self.candidate_cache_size,
             support_cache_size=self.support_cache_size,
             oracle_sources=self.oracle_cache_size,
+            transition_oracle=self.transition_oracle,
+            bidirectional=self.bidirectional,
         )
 
 
@@ -235,7 +262,7 @@ class HRIS:
             network, config.engine_config(), landmarks=landmark_index
         )
         self._reference_search = ReferenceSearch(
-            archive, network, config.reference_config()
+            archive, network, config.reference_config(), engine=self._engine
         )
         self._tgi = TraverseGraphInference(
             network, config.tgi_config(), engine=self._engine
@@ -367,6 +394,9 @@ class HRIS:
         prepare = getattr(self._archive, "prepare_for_fork", None)
         if prepare is not None:
             prepare()
+        # Table oracles: seal resumable sweep heaps so forked workers share
+        # the warm distance rows copy-on-write instead of re-sweeping.
+        self._engine.prepare_for_fork()
         _BATCH_STATE = (self, k, queries)
         try:
             with ctx.Pool(processes=workers) as pool:

@@ -47,6 +47,7 @@ class IncrementalConfig:
         continuity_weight: Weight of the topological-continuity term.
         detour_scale: Network detour (metres) at which continuity decays
             to 1/e.
+        max_route_distance: Bound on the continuity gap searches.
     """
 
     radius: float = 50.0
@@ -55,17 +56,33 @@ class IncrementalConfig:
     orientation_weight: float = 2.0
     continuity_weight: float = 3.0
     detour_scale: float = 500.0
+    max_route_distance: float = 50_000.0
 
 
 class IncrementalMatcher(MapMatcher):
-    """Greedy point-by-point matcher with look-back of one point."""
+    """Greedy point-by-point matcher with look-back of one point.
+
+    Args:
+        engine: Optional :class:`~repro.roadnet.engine.RoutingEngine` — the
+            matcher then shares the engine's candidate cache, stitch bridges
+            and transition oracle (per-pair or table; results identical).
+    """
 
     def __init__(
-        self, network: RoadNetwork, config: IncrementalConfig = IncrementalConfig()
+        self,
+        network: RoadNetwork,
+        config: IncrementalConfig = IncrementalConfig(),
+        engine=None,
     ) -> None:
         self._network = network
         self._config = config
-        self._oracle = DistanceOracle(network, max_distance=50_000.0)
+        self._engine = engine
+        if engine is not None:
+            self._oracle = engine.transition_oracle(config.max_route_distance)
+        else:
+            self._oracle = DistanceOracle(
+                network, max_distance=config.max_route_distance
+            )
 
     def match(self, trajectory: Trajectory) -> MatchResult:
         cfg = self._config
@@ -75,11 +92,21 @@ class IncrementalMatcher(MapMatcher):
 
         for gps in trajectory.points:
             candidates = find_candidates(
-                self._network, gps.point, cfg.radius, cfg.max_candidates
+                self._network,
+                gps.point,
+                cfg.radius,
+                cfg.max_candidates,
+                engine=self._engine,
             )
             if not candidates:
                 chosen.append(None)
                 continue
+            if prev is not None:
+                # Single-source frontier of this step's continuity gaps.
+                self._oracle.prepare(
+                    (prev.segment.end,),
+                    (c.segment.start for c in candidates),
+                )
             best = max(
                 candidates,
                 key=lambda c: self._score(c, gps.point, prev, prev_point),
@@ -89,7 +116,7 @@ class IncrementalMatcher(MapMatcher):
             prev_point = gps.point
 
         segments = [c.segment.segment_id for c in chosen if c is not None]
-        route = stitch_route(self._network, segments)
+        route = stitch_route(self._network, segments, engine=self._engine)
         return MatchResult(route=route, matched=tuple(chosen))
 
     # ------------------------------------------------------------ scoring

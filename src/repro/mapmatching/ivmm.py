@@ -57,21 +57,40 @@ class IVMMConfig:
 
 
 class IVMMMatcher(MapMatcher):
-    """Interactive voting matcher."""
+    """Interactive voting matcher.
+
+    Args:
+        engine: Optional :class:`~repro.roadnet.engine.RoutingEngine` — the
+            matcher then shares the engine's candidate cache, stitch bridges
+            and transition oracle (per-pair or table; results identical).
+    """
 
     def __init__(
-        self, network: RoadNetwork, config: IVMMConfig = IVMMConfig()
+        self,
+        network: RoadNetwork,
+        config: IVMMConfig = IVMMConfig(),
+        engine=None,
     ) -> None:
         self._network = network
         self._config = config
-        self._oracle = DistanceOracle(network, config.max_route_distance)
+        self._engine = engine
+        if engine is not None:
+            self._oracle = engine.transition_oracle(config.max_route_distance)
+        else:
+            self._oracle = DistanceOracle(network, config.max_route_distance)
 
     def match(self, trajectory: Trajectory) -> MatchResult:
         cfg = self._config
         pts = trajectory.points
         n = len(pts)
         layers: List[List[CandidateEdge]] = [
-            find_candidates(self._network, p.point, cfg.radius, cfg.max_candidates)
+            find_candidates(
+                self._network,
+                p.point,
+                cfg.radius,
+                cfg.max_candidates,
+                engine=self._engine,
+            )
             for p in pts
         ]
 
@@ -86,6 +105,12 @@ class IVMMMatcher(MapMatcher):
         for i in range(1, n):
             dt = pts[i].t - pts[i - 1].t
             d_euclid = pts[i].point.distance_to(pts[i - 1].point)
+            # The full frontier product of this step is about to be scored:
+            # let a table oracle cover it with one paused sweep per source.
+            self._oracle.prepare(
+                (c.segment.end for c in layers[i - 1]),
+                (c.segment.start for c in layers[i]),
+            )
             matrix: List[List[float]] = []
             for prev_cand in layers[i - 1]:
                 row = [
@@ -134,7 +159,7 @@ class IVMMMatcher(MapMatcher):
             chosen.append(layers[i][best_j])
 
         segments = [c.segment.segment_id for c in chosen if c is not None]
-        route = stitch_route(self._network, segments)
+        route = stitch_route(self._network, segments, engine=self._engine)
         return MatchResult(route=route, matched=tuple(chosen))
 
     # ----------------------------------------------------------- internals

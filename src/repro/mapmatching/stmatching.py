@@ -53,20 +53,39 @@ class STMatchingConfig:
 
 
 class STMatcher(MapMatcher):
-    """Spatial-temporal candidate-graph matcher."""
+    """Spatial-temporal candidate-graph matcher.
+
+    Args:
+        engine: Optional :class:`~repro.roadnet.engine.RoutingEngine` — the
+            matcher then shares the engine's candidate cache, stitch bridges
+            and transition oracle (per-pair or table; results identical).
+    """
 
     def __init__(
-        self, network: RoadNetwork, config: STMatchingConfig = STMatchingConfig()
+        self,
+        network: RoadNetwork,
+        config: STMatchingConfig = STMatchingConfig(),
+        engine=None,
     ) -> None:
         self._network = network
         self._config = config
-        self._oracle = DistanceOracle(network, config.max_route_distance)
+        self._engine = engine
+        if engine is not None:
+            self._oracle = engine.transition_oracle(config.max_route_distance)
+        else:
+            self._oracle = DistanceOracle(network, config.max_route_distance)
 
     def match(self, trajectory: Trajectory) -> MatchResult:
         cfg = self._config
         pts = trajectory.points
         layers: List[List[CandidateEdge]] = [
-            find_candidates(self._network, p.point, cfg.radius, cfg.max_candidates)
+            find_candidates(
+                self._network,
+                p.point,
+                cfg.radius,
+                cfg.max_candidates,
+                engine=self._engine,
+            )
             for p in pts
         ]
 
@@ -84,6 +103,17 @@ class STMatcher(MapMatcher):
             cur_parent: List[int] = []
             dt = pts[i].t - pts[i - 1].t
             d_euclid = pts[i].point.distance_to(pts[i - 1].point)
+            # Announce this step's frontier product so a table oracle can
+            # cover it with one paused sweep per source (per-pair: no-op).
+            prev_scores = score[i - 1]
+            self._oracle.prepare(
+                (
+                    c.segment.end
+                    for k, c in enumerate(layers[i - 1])
+                    if prev_scores[k] != -math.inf
+                ),
+                (c.segment.start for c in layers[i]),
+            )
             for j, cand in enumerate(layers[i]):
                 obs = gps_probability(cand.distance, cfg.sigma)
                 best_val = -math.inf
@@ -110,7 +140,7 @@ class STMatcher(MapMatcher):
 
         chosen = self._backtrack(layers, score, parent)
         segments = [c.segment.segment_id for c in chosen if c is not None]
-        route = stitch_route(self._network, segments)
+        route = stitch_route(self._network, segments, engine=self._engine)
         return MatchResult(route=route, matched=tuple(chosen))
 
     # ----------------------------------------------------------- internals

@@ -122,6 +122,10 @@ class LRUCache(Generic[K, V]):
         self.put(key, value)
         return value
 
+    def values(self) -> "list[V]":
+        """The cached values, least-recent first (recency is not touched)."""
+        return list(self._data.values())
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         self._data.clear()

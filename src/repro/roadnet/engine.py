@@ -39,8 +39,12 @@ from repro.roadnet.shortest_path import (
     shortest_route_between_nodes,
     shortest_route_between_segments,
 )
+from repro.roadnet.table_oracle import DistanceTableOracle
 
-__all__ = ["EngineConfig", "EngineStats", "RoutingEngine"]
+__all__ = ["EngineConfig", "EngineStats", "RoutingEngine", "TRANSITION_ORACLES"]
+
+#: The oracle kind serving matcher transition lookups (see ``EngineConfig``).
+TRANSITION_ORACLES = ("per_pair", "table")
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,8 +58,16 @@ class EngineConfig:
             (0 disables).
         candidate_cache_size: Entries of the candidate-edge cache.
         support_cache_size: Entries of the reference-support cache.
-        oracle_sources: Source tables held by the distance oracle.
-        oracle_max_distance: Search bound of the distance oracle.
+        oracle_sources: Source tables/rows held by each distance oracle.
+        oracle_max_distance: Search bound of the engine's own oracle.
+        transition_oracle: ``"per_pair"`` (one full bounded Dijkstra per
+            source, the seed discipline) or ``"table"`` (many-to-many
+            frontier sweeps via
+            :class:`~repro.roadnet.table_oracle.DistanceTableOracle`).
+            Results are bit-identical; only the work differs.
+        bidirectional: Run residual single-pair route searches
+            meet-in-the-middle (:func:`~repro.roadnet.shortest_path.bidi_astar`)
+            instead of unidirectional ALT A*.  Identical routes either way.
     """
 
     n_landmarks: int = 8
@@ -64,11 +76,28 @@ class EngineConfig:
     support_cache_size: int = 16_384
     oracle_sources: int = 2_048
     oracle_max_distance: float = math.inf
+    transition_oracle: str = "per_pair"
+    bidirectional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transition_oracle not in TRANSITION_ORACLES:
+            raise ValueError(
+                f"unknown transition_oracle {self.transition_oracle!r}"
+            )
 
 
 @dataclass(slots=True)
 class EngineStats:
-    """A snapshot of every engine counter (all deltas are per-snapshot)."""
+    """A snapshot of every engine counter (all deltas are per-snapshot).
+
+    ``oracle`` aggregates the source-row hit/miss/eviction counters of
+    *every* engine-owned transition oracle (one per distinct search bound),
+    so matcher transition traffic shows up here — the seed engine kept a
+    private, never-used oracle and reported zeros.  ``sweeps`` and
+    ``fallback_searches`` are non-zero only for the table oracle: frontier
+    sweeps run (including resumes) and stray single-pair bidirectional
+    fallbacks taken.
+    """
 
     route_cache: CacheStats = field(default_factory=CacheStats)
     candidate_cache: CacheStats = field(default_factory=CacheStats)
@@ -77,6 +106,8 @@ class EngineStats:
     searches: int = 0
     settled_nodes: int = 0
     landmarks: int = 0
+    sweeps: int = 0
+    fallback_searches: int = 0
 
     def delta(self, earlier: "EngineStats") -> "EngineStats":
         return EngineStats(
@@ -87,6 +118,8 @@ class EngineStats:
             searches=self.searches - earlier.searches,
             settled_nodes=self.settled_nodes - earlier.settled_nodes,
             landmarks=self.landmarks,
+            sweeps=self.sweeps - earlier.sweeps,
+            fallback_searches=self.fallback_searches - earlier.fallback_searches,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -95,6 +128,8 @@ class EngineStats:
             "searches": self.searches,
             "settled_nodes": self.settled_nodes,
             "landmarks": self.landmarks,
+            "sweeps": self.sweeps,
+            "fallback_searches": self.fallback_searches,
         }
         for name, cache in (
             ("route_cache", self.route_cache),
@@ -142,12 +177,12 @@ class RoutingEngine:
         self._support_cache: "LRUCache[Tuple[Tuple[Point, ...], float], frozenset]" = (
             LRUCache(config.support_cache_size)
         )
-        self._oracle = DistanceOracle(
-            network,
-            max_distance=config.oracle_max_distance,
-            max_sources=config.oracle_sources,
-        )
         self._search_stats = SearchStats()
+        # One transition oracle per distinct search bound: the bound is part
+        # of each matcher's model, so oracles are keyed by it and all feed
+        # the same aggregated stats.
+        self._transition_oracles: Dict[float, object] = {}
+        self._oracle = self.transition_oracle(config.oracle_max_distance)
 
     # ------------------------------------------------------------ properties
 
@@ -164,9 +199,38 @@ class RoutingEngine:
         return self._landmarks
 
     @property
-    def oracle(self) -> DistanceOracle:
-        """The shared node-distance oracle (LRU over source tables)."""
+    def oracle(self):
+        """The engine's own distance oracle (at ``oracle_max_distance``)."""
         return self._oracle
+
+    def transition_oracle(self, max_distance: float = math.inf):
+        """The engine-owned transition oracle for one search bound.
+
+        Matchers fetch their oracle here instead of building a private
+        :class:`DistanceOracle`, so the oracle kind follows
+        ``config.transition_oracle`` and all hit/miss/sweep counters land
+        in :meth:`stats`.  One oracle is kept per distinct ``max_distance``
+        (the bound is part of each matcher's model) and shared by every
+        component using that bound.
+        """
+        oracle = self._transition_oracles.get(max_distance)
+        if oracle is None:
+            if self._config.transition_oracle == "table":
+                oracle = DistanceTableOracle(
+                    self._network,
+                    max_distance=max_distance,
+                    max_rows=self._config.oracle_sources,
+                    landmarks=self._landmarks,
+                    search_stats=self._search_stats,
+                )
+            else:
+                oracle = DistanceOracle(
+                    self._network,
+                    max_distance=max_distance,
+                    max_sources=self._config.oracle_sources,
+                )
+            self._transition_oracles[max_distance] = oracle
+        return oracle
 
     # --------------------------------------------------------------- routing
 
@@ -182,6 +246,7 @@ class RoutingEngine:
                 to_segment,
                 landmarks=self._landmarks,
                 stats=self._search_stats,
+                bidirectional=self._config.bidirectional,
             ),
         )
 
@@ -197,6 +262,7 @@ class RoutingEngine:
                 target,
                 landmarks=self._landmarks,
                 stats=self._search_stats,
+                bidirectional=self._config.bidirectional,
             ),
         )
 
@@ -243,15 +309,41 @@ class RoutingEngine:
 
     def stats(self) -> EngineStats:
         """A point-in-time snapshot of all engine counters."""
+        oracle_stats = CacheStats()
+        settled = self._search_stats.settled
+        sweeps = 0
+        fallbacks = 0
+        for oracle in self._transition_oracles.values():
+            snap = oracle.stats
+            oracle_stats.hits += snap.hits
+            oracle_stats.misses += snap.misses
+            oracle_stats.evictions += snap.evictions
+            settled += oracle.settled_nodes
+            sweeps += getattr(oracle, "sweeps", 0)
+            fallbacks += getattr(oracle, "fallbacks", 0)
         return EngineStats(
             route_cache=self._route_cache.stats.snapshot(),
             candidate_cache=self._candidate_cache.stats.snapshot(),
             support_cache=self._support_cache.stats.snapshot(),
-            oracle=self._oracle.stats.snapshot(),
+            oracle=oracle_stats,
             searches=self._search_stats.searches,
-            settled_nodes=self._search_stats.settled + self._oracle.settled_nodes,
+            settled_nodes=settled,
             landmarks=len(self._landmarks) if self._landmarks else 0,
+            sweeps=sweeps,
+            fallback_searches=fallbacks,
         )
+
+    def prepare_for_fork(self) -> None:
+        """Compact mutable oracle state before a batch pool forks.
+
+        Table-oracle rows seal their pending heaps into tuples so workers
+        share the warmed rows copy-on-write; per-pair oracles have nothing
+        to seal.  Cheap and results-neutral either way.
+        """
+        for oracle in self._transition_oracles.values():
+            seal = getattr(oracle, "prepare_for_fork", None)
+            if seal is not None:
+                seal()
 
     def clear_caches(self) -> None:
         """Drop cached values (landmark tables are kept — they are exact)."""
@@ -259,4 +351,5 @@ class RoutingEngine:
         self._node_route_cache.clear()
         self._candidate_cache.clear()
         self._support_cache.clear()
-        self._oracle.clear()
+        for oracle in self._transition_oracles.values():
+            oracle.clear()

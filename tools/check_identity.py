@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Identity gate: prove a configuration reproduces the seed routes exactly.
+
+Every optimisation in this repository must change *when* work happens,
+never *what* is computed — the top-K routes and scores of every engine,
+oracle and archive configuration are required to be bit-identical to the
+seed baseline.  This tool is the single parameterised gate behind that
+rule, in two modes:
+
+**Report mode** (CI): check the ``identical_results`` block of a
+benchmark report written by ``benchmarks/bench_throughput.py``::
+
+    python tools/check_identity.py --report benchmarks/results/BENCH_throughput_smoke.json \
+        --require sharded_vs_seed remote_vs_seed table_oracle_vs_seed
+
+Exits non-zero when any required key — or any key at all — is false.
+``--expect-degraded`` additionally asserts the replicated fleet really
+lost a replica during the run (otherwise the degraded-mode gate proves
+nothing).
+
+**Live mode**: build the named configuration and the seed baseline on the
+standard scenario, infer every query through both, and diff the routes::
+
+    PYTHONPATH=src python tools/check_identity.py --config table_oracle --queries 8
+
+Configurations are named in ``CONFIGS``; each is expected to be
+results-identical to the seed by construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _configs():
+    """Named identity-preserving configurations (lazily imported)."""
+    from repro.core.system import HRISConfig
+
+    return {
+        "engine": HRISConfig(),
+        "bidirectional": HRISConfig(bidirectional=True),
+        "table_oracle": HRISConfig(transition_oracle="table", bidirectional=True),
+        "no_landmarks": HRISConfig(n_landmarks=0),
+    }
+
+
+def check_report(path: Path, require, expect_degraded: bool) -> int:
+    report = json.loads(path.read_text(encoding="utf-8"))
+    identical = report["identical_results"]
+    print(json.dumps(identical, indent=2))
+    status = 0
+    for key in require:
+        if key not in identical:
+            print(f"FAIL: required identity key {key!r} missing from report")
+            status = 1
+        elif not identical[key]:
+            print(f"FAIL: {key} produced different top-K routes")
+            status = 1
+    if not all(identical.values()):
+        bad = [k for k, v in identical.items() if not v]
+        print(f"FAIL: non-identical configurations: {', '.join(bad)}")
+        status = 1
+    if expect_degraded:
+        degraded = report["replicated_archive"]
+        print(
+            f"degraded fleet: {degraded['healthy_replicas']}/"
+            f"{degraded['total_replicas']} replicas healthy, "
+            f"{degraded['failovers']} failovers"
+        )
+        if degraded["healthy_replicas"] >= degraded["total_replicas"]:
+            print("FAIL: the kill did not degrade the fleet — gate proved nothing")
+            status = 1
+    if status == 0:
+        print("identity gate passed")
+    return status
+
+
+def check_live(config_name: str, n_queries: int, interval: float) -> int:
+    from repro.core.system import HRIS
+    from repro.eval.harness import standard_scenario
+    from repro.trajectory.resample import downsample
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_throughput import SEED_BASELINE, result_keys
+
+    configs = _configs()
+    if config_name not in configs:
+        print(f"unknown config {config_name!r}; choose from {sorted(configs)}")
+        return 2
+
+    scenario = standard_scenario(seed=7, n_queries=n_queries)
+    queries = [
+        q
+        for q in (downsample(c.query, interval) for c in scenario.queries)
+        if len(q) >= 2
+    ]
+    print(f"{len(queries)} queries · config {config_name!r} vs seed baseline")
+
+    h_seed = HRIS(scenario.network, scenario.archive, SEED_BASELINE)
+    h_cfg = HRIS(scenario.network, scenario.archive, configs[config_name])
+    ref = result_keys([h_seed.infer_routes(q) for q in queries])
+    got = result_keys([h_cfg.infer_routes(q) for q in queries])
+
+    diverged = [i for i, (a, b) in enumerate(zip(ref, got)) if a != b]
+    if diverged:
+        for i in diverged:
+            print(f"FAIL: query {i} diverged")
+            print(f"  seed: {ref[i]}")
+            print(f"  {config_name}: {got[i]}")
+        return 1
+    print(f"identical top-K routes and scores on all {len(queries)} queries")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--report", type=Path, help="benchmark report JSON to gate")
+    mode.add_argument("--config", help="configuration name for a live diff")
+    parser.add_argument(
+        "--require",
+        nargs="*",
+        default=[],
+        metavar="KEY",
+        help="identity keys that must be present and true in the report",
+    )
+    parser.add_argument(
+        "--expect-degraded",
+        action="store_true",
+        help="assert the replicated fleet lost a replica during the run",
+    )
+    parser.add_argument("--queries", type=int, default=8, help="live-mode queries")
+    parser.add_argument(
+        "--interval", type=float, default=300.0, help="live-mode sampling interval (s)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.report is not None:
+        return check_report(args.report, args.require, args.expect_degraded)
+    return check_live(args.config, args.queries, args.interval)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
