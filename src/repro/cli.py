@@ -9,14 +9,18 @@ writing any Python:
 * ``evaluate``      — compare HRIS and the baselines across sampling
   intervals;
 * ``archive-serve`` — run one archive shard server: the process owns a
-  subset of spatial tiles and answers the reference search's range
-  queries for them (see ``docs/distributed.md``).
+  subset of spatial tiles, answers the reference search's range queries
+  for them, and (``repro-remote-v3``) summarises and assembles reference
+  candidates from the observations it owns (see ``docs/distributed.md``).
 
 ``infer`` and ``evaluate`` pick the archive backend with
 ``--archive-backend {memory,sharded,remote}``: one in-process R-tree, an
 in-process tiled index, or fan-out to ``archive-serve`` processes named
-by repeated ``--shard-addr host:port`` flags.  Results are identical
-whichever backend serves the queries.
+by repeated ``--shard-addr host:port`` flags.  With the remote backend,
+``--reference-mode shard`` additionally assembles reference candidates on
+the shard servers (``repro-remote-v3``) instead of reading whole
+trajectories client-side.  Results are identical whichever backend — and
+whichever reference mode — serves the queries.
 
 Usage::
 
@@ -94,6 +98,17 @@ def _add_archive_options(cmd: argparse.ArgumentParser) -> None:
             "expected replicas per shard for --archive-backend remote: the "
             "handshake then fails unless every shard index is served by "
             "exactly R of the given --shard-addr processes"
+        ),
+    )
+    cmd.add_argument(
+        "--reference-mode",
+        choices=("local", "shard"),
+        default="local",
+        help=(
+            "where reference candidates are assembled: 'local' reads whole "
+            "trajectories from the client trip store, 'shard' pushes "
+            "Definition 6/7 candidate generation to the archive-serve fleet "
+            "(requires --archive-backend remote; identical results)"
         ),
     )
     cmd.add_argument(
@@ -197,7 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "archive-serve",
-        help="serve one spatial shard of the archive over a socket",
+        help=(
+            "serve one shard of the archive over a socket (repro-remote-v3: "
+            "spatial range queries plus shard-side reference assembly)"
+        ),
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -256,6 +274,11 @@ def _load_world(args: argparse.Namespace):
             raise _CLIError("--replication only applies to --archive-backend remote")
         if args.replication < 1:
             raise _CLIError("--replication must be a positive replica count")
+    if args.reference_mode == "shard" and args.archive_backend != "remote":
+        raise _CLIError(
+            "--reference-mode shard only applies to --archive-backend remote "
+            "(shards assemble the references)"
+        )
     return load_scenario(
         args.world,
         archive_backend=args.archive_backend,
@@ -304,7 +327,9 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         return 2
     case = scenario.queries[args.query]
     query = downsample(case.query, args.interval)
-    config = HRISConfig(local_method=args.method)
+    config = HRISConfig(
+        local_method=args.method, reference_mode=args.reference_mode
+    )
     hris = HRIS(
         scenario.network,
         scenario.archive,
@@ -335,7 +360,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     scenario = _load_world(args)
     network = scenario.network
-    config = HRISConfig()
+    config = HRISConfig(reference_mode=args.reference_mode)
     hris = HRIS(
         network,
         scenario.archive,

@@ -111,6 +111,15 @@ class HRISConfig:
         bidirectional: Route point-to-point engine queries with
             bidirectional ALT instead of unidirectional A*.  Routes and
             distances are identical; only the searched volume shrinks.
+        reference_mode: Where reference candidates are assembled.
+            ``"local"`` (default, the seed behaviour) reads whole
+            trajectories from the archive's client-held trip store;
+            ``"shard"`` runs the same kernel over the archive's
+            ``trip_source()`` — shard servers summarise and assemble
+            candidates from the observations they own
+            (``repro-remote-v3``), so the client needs no trip store.
+            Requires a backend exposing ``trip_source()`` (the remote
+            backend).  Results are bit-identical either way.
     """
 
     phi: float = 500.0
@@ -144,6 +153,7 @@ class HRISConfig:
     oracle_cache_size: int = 2_048
     transition_oracle: str = "per_pair"
     bidirectional: bool = False
+    reference_mode: str = "local"
 
     def __post_init__(self) -> None:
         if self.local_method not in ("hybrid", "tgi", "nni"):
@@ -153,6 +163,11 @@ class HRISConfig:
         if self.transition_oracle not in TRANSITION_ORACLES:
             raise ValueError(
                 f"unknown transition_oracle {self.transition_oracle!r}"
+            )
+        if self.reference_mode not in ("local", "shard"):
+            raise ValueError(
+                f"unknown reference_mode {self.reference_mode!r}; "
+                f"choose 'local' or 'shard'"
             )
 
     def tgi_config(self) -> TGIConfig:
@@ -261,8 +276,22 @@ class HRIS:
         self._engine = RoutingEngine(
             network, config.engine_config(), landmarks=landmark_index
         )
+        trip_source = None
+        if config.reference_mode == "shard":
+            factory = getattr(archive, "trip_source", None)
+            if factory is None:
+                raise ValueError(
+                    "reference_mode='shard' needs an archive backend with "
+                    "shard-side reference ops (the remote backend); "
+                    f"{type(archive).__name__} has no trip_source()"
+                )
+            trip_source = factory()
         self._reference_search = ReferenceSearch(
-            archive, network, config.reference_config(), engine=self._engine
+            archive,
+            network,
+            config.reference_config(),
+            engine=self._engine,
+            source=trip_source,
         )
         self._tgi = TraverseGraphInference(
             network, config.tgi_config(), engine=self._engine

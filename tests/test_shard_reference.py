@@ -1,0 +1,268 @@
+"""Shard-side reference assembly (``repro-remote-v3``) identity tests.
+
+The contract: :func:`repro.core.reference.assemble_references` over a
+:class:`~repro.core.remote.RemoteTripSource` must return *float-identical*
+references to the in-process :class:`~repro.core.reference.ArchiveTripSource`
+over an :class:`InMemoryArchive` fed the same trips — same ref_ids, same
+source_ids, same point coordinates to the last bit, same splice choices.
+The scenarios deliberately cross tile-ownership boundaries: splice pairs
+whose tail and head trajectories live on different shards, and single
+trajectories straddling tiles so the client must stitch ``fetch_spans``
+replies from several owners back into canonical index order.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.archive import InMemoryArchive
+from repro.core.reference import (
+    ArchiveTripSource,
+    ReferenceSearch,
+    ReferenceSearchConfig,
+    assemble_references,
+)
+from repro.core.remote import (
+    ArchiveShardServer,
+    RemoteShardedArchive,
+    shard_of_tile,
+)
+from repro.core.system import HRIS, HRISConfig
+from repro.geo.point import Point
+from repro.roadnet.generators import manhattan_line
+from repro.trajectory.model import GPSPoint, Trajectory
+from tests.test_remote_archive import NUM_SHARDS, TILE, random_trips
+
+
+@pytest.fixture
+def cluster():
+    servers = [ArchiveShardServer(i, NUM_SHARDS, TILE).start() for i in range(NUM_SHARDS)]
+    addrs = [f"127.0.0.1:{s.address[1]}" for s in servers]
+    yield servers, addrs
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture
+def line():
+    return manhattan_line(n_nodes=10, spacing=200.0)
+
+
+def traj(coords_times, tid=0):
+    return Trajectory.build(
+        tid, [GPSPoint(Point(x, y), t) for (x, y, t) in coords_times]
+    )
+
+
+def query_pair(x0=0.0, x1=1000.0, dt=600.0):
+    return GPSPoint(Point(x0, 0.0), 0.0), GPSPoint(Point(x1, 0.0), dt)
+
+
+def owners_of(trip):
+    """The set of shards owning at least one observation of ``trip``."""
+    return {
+        shard_of_tile(
+            (math.floor(o.point.x / TILE), math.floor(o.point.y / TILE)), NUM_SHARDS
+        )
+        for o in trip
+    }
+
+
+def matched_pair(addrs, trips):
+    """An InMemoryArchive and a remote archive fed identical trips."""
+    mem = InMemoryArchive()
+    remote = RemoteShardedArchive(addrs, timeout_s=5.0)
+    for trip in trips:
+        assert mem.add(trip) == remote.add(trip)
+    return mem, remote
+
+
+def assert_identical_references(local_refs, shard_refs):
+    assert len(local_refs) == len(shard_refs)
+    for a, b in zip(local_refs, shard_refs):
+        assert a.ref_id == b.ref_id
+        assert a.source_ids == b.source_ids
+        assert a.spliced == b.spliced
+        assert len(a.points) == len(b.points)
+        for p, q in zip(a.points, b.points):
+            assert p.x == q.x and p.y == q.y  # exact, not approx
+
+
+class TestCrossShardIdentity:
+    def test_single_trajectory_straddling_tiles(self, cluster, line):
+        """A simple reference whose observations live on several shards:
+        the client must stitch per-owner spans back into index order."""
+        __, addrs = cluster
+        # Eastbound corridor trip spanning tiles (0,0), (1,0), (2,0) —
+        # with 3 shards those tiles hash to owners 0, 2, 1.
+        trip = traj([(i * 100.0, 10.0, i * 20.0) for i in range(13)])
+        assert len(owners_of(trip)) >= 2
+        mem, remote = matched_pair(addrs, [trip])
+        cfg = ReferenceSearchConfig(phi=300.0)
+        qi, qi1 = query_pair()
+        local = assemble_references(ArchiveTripSource(mem), line, qi, qi1, cfg)
+        shard = assemble_references(remote.trip_source(), line, qi, qi1, cfg)
+        assert len(local) == 1 and not local[0].spliced
+        assert_identical_references(local, shard)
+        remote.close()
+
+    def test_splice_tail_and_head_on_different_shards(self, cluster, line):
+        """Definition-7 pair whose halves live on disjoint shard sets."""
+        __, addrs = cluster
+        # Tail on y=+10 (tile row 0 -> shards {0, 2}), head on y=-10
+        # (tile row -1 -> shards {1, 2}); neither reaches both endpoints.
+        t_a = traj([(i * 100.0, 10.0, i * 20.0) for i in range(7)], tid=0)
+        t_b = traj([(400.0 + i * 100.0, -10.0, i * 20.0) for i in range(7)], tid=1)
+        assert owners_of(t_a) != owners_of(t_b)
+        mem, remote = matched_pair(addrs, [t_a, t_b])
+        cfg = ReferenceSearchConfig(phi=150.0, splice_epsilon=150.0)
+        qi, qi1 = query_pair()
+        local = assemble_references(ArchiveTripSource(mem), line, qi, qi1, cfg)
+        shard = assemble_references(remote.trip_source(), line, qi, qi1, cfg)
+        spliced = [r for r in shard if r.spliced]
+        assert len(spliced) == 1
+        assert set(spliced[0].source_ids) == {0, 1}
+        assert_identical_references(local, shard)
+        remote.close()
+
+    def test_randomized_queries_match_memory(self, cluster, line):
+        """Seeded sweep: every query pair yields bit-identical references
+        from the shard fleet and the in-memory ground truth."""
+        __, addrs = cluster
+        rng = np.random.default_rng(7)
+        mem, remote = matched_pair(addrs, random_trips(rng, n_trips=16))
+        cfg = ReferenceSearchConfig(phi=500.0, splice_epsilon=300.0)
+        local_src = ArchiveTripSource(mem)
+        shard_src = remote.trip_source()
+        for __q in range(8):
+            x0, y0 = rng.uniform(0.0, 3_500.0, size=2)
+            heading = rng.uniform(0.0, 2.0 * math.pi)
+            gap = rng.uniform(400.0, 1_500.0)
+            qi = GPSPoint(Point(x0, y0), 0.0)
+            qi1 = GPSPoint(
+                Point(x0 + gap * math.cos(heading), y0 + gap * math.sin(heading)),
+                600.0,
+            )
+            local = assemble_references(local_src, line, qi, qi1, cfg)
+            shard = assemble_references(shard_src, line, qi, qi1, cfg)
+            assert_identical_references(local, shard)
+        remote.close()
+
+    def test_shard_mode_never_reads_client_trip_store(self, cluster, line):
+        """With ``reference_mode="shard"`` the client-side trip store is
+        dead weight: clearing it must not change a single reference."""
+        __, addrs = cluster
+        t_a = traj([(i * 100.0, 10.0, i * 20.0) for i in range(7)], tid=0)
+        t_b = traj([(400.0 + i * 100.0, -10.0, i * 20.0) for i in range(7)], tid=1)
+        mem, remote = matched_pair(addrs, [t_a, t_b])
+        remote._trajectories.clear()  # shard mode must not notice
+        cfg = ReferenceSearchConfig(phi=150.0, splice_epsilon=150.0)
+        qi, qi1 = query_pair()
+        local = assemble_references(ArchiveTripSource(mem), line, qi, qi1, cfg)
+        shard = assemble_references(remote.trip_source(), line, qi, qi1, cfg)
+        assert local
+        assert_identical_references(local, shard)
+        remote.close()
+
+    def test_search_through_reference_search_facade(self, cluster, line):
+        """ReferenceSearch(source=...) runs the same kernel unchanged."""
+        __, addrs = cluster
+        trip = traj([(i * 100.0, 10.0, i * 20.0) for i in range(13)])
+        mem, remote = matched_pair(addrs, [trip])
+        cfg = ReferenceSearchConfig(phi=300.0)
+        qi, qi1 = query_pair()
+        local = ReferenceSearch(mem, line, cfg).search(qi, qi1)
+        shard = ReferenceSearch(
+            remote, line, cfg, source=remote.trip_source()
+        ).search(qi, qi1)
+        assert_identical_references(local, shard)
+        remote.close()
+
+
+class TestDegradedFleet:
+    R = 2
+
+    @pytest.fixture
+    def replicated_cluster(self):
+        servers = []
+        for index in range(NUM_SHARDS):
+            for rid in range(self.R):
+                servers.append(
+                    ArchiveShardServer(index, NUM_SHARDS, TILE, replica_id=rid).start()
+                )
+        addrs = [f"127.0.0.1:{s.address[1]}" for s in servers]
+        yield servers, addrs
+        for server in servers:
+            server.stop()
+
+    def test_replica_killed_mid_run_stays_identical(self, replicated_cluster, line):
+        """One replica process death between queries must be invisible:
+        failover reroutes the v3 reference ops and the floats match."""
+        servers, addrs = replicated_cluster
+        rng = np.random.default_rng(11)
+        mem = InMemoryArchive()
+        remote = RemoteShardedArchive(
+            addrs,
+            replication=self.R,
+            retries=0,
+            backoff_s=0.0,
+            breaker_cooldown_s=60.0,
+            jitter_seed=0,
+        )
+        for trip in random_trips(rng, n_trips=14):
+            assert mem.add(trip) == remote.add(trip)
+        cfg = ReferenceSearchConfig(phi=500.0, splice_epsilon=300.0)
+        local_src = ArchiveTripSource(mem)
+        shard_src = remote.trip_source()
+
+        def compare(n_queries):
+            for __q in range(n_queries):
+                x0, y0 = rng.uniform(0.0, 3_500.0, size=2)
+                qi = GPSPoint(Point(x0, y0), 0.0)
+                qi1 = GPSPoint(Point(x0 + 800.0, y0 + 200.0), 600.0)
+                assert_identical_references(
+                    assemble_references(local_src, line, qi, qi1, cfg),
+                    assemble_references(shard_src, line, qi, qi1, cfg),
+                )
+
+        compare(3)
+        servers[0].stop()  # mid-run process death
+        compare(6)
+        remote.close()
+
+
+class TestReferenceModePlumbing:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="reference_mode"):
+            HRISConfig(reference_mode="psychic")
+
+    def test_shard_mode_needs_shard_capable_backend(self, line):
+        with pytest.raises(ValueError, match="trip_source"):
+            HRIS(line, InMemoryArchive(), HRISConfig(reference_mode="shard"))
+
+    def test_hris_shard_mode_routes_match_local(self, cluster, line):
+        """End-to-end: HRIS(reference_mode="shard") infers the same routes
+        and scores as the local-mode seed on the same fleet."""
+        __, addrs = cluster
+        trips = [
+            traj([(i * 100.0, 10.0 + k * 5.0, i * 20.0) for i in range(13)], tid=k)
+            for k in range(3)
+        ]
+        mem, remote = matched_pair(addrs, trips)
+        query = Trajectory.build(
+            99,
+            [
+                GPSPoint(Point(0.0, 0.0), 0.0),
+                GPSPoint(Point(1000.0, 0.0), 600.0),
+            ],
+        )
+        local_routes = HRIS(line, mem, HRISConfig()).infer_routes(query)
+        shard_routes = HRIS(
+            line, remote, HRISConfig(reference_mode="shard")
+        ).infer_routes(query)
+        assert local_routes and len(local_routes) == len(shard_routes)
+        for a, b in zip(local_routes, shard_routes):
+            assert a.route.segment_ids == b.route.segment_ids
+            assert a.log_score == b.log_score  # exact
+        remote.close()

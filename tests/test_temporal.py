@@ -39,6 +39,15 @@ class TestTimeOfDayDifference:
     def test_max_is_half_day(self):
         assert time_of_day_difference_s(0.0, 12 * HOUR) == 12 * HOUR
 
+    def test_wrap_at_day_boundary(self):
+        # t_a just before 86400, t_b just after 0: the circular distance is
+        # the 20 s across midnight, not 23 h 59 m 40 s.
+        assert time_of_day_difference_s(DAY - 10.0, 10.0) == 20.0
+        assert time_of_day_difference_s(10.0, DAY - 10.0) == 20.0
+        # Exactly on the boundary, and across several whole days.
+        assert time_of_day_difference_s(DAY, 0.0) == 0.0
+        assert time_of_day_difference_s(4 * DAY - 10.0, 2 * DAY + 10.0) == 20.0
+
 
 def corridor_traj(tid, start_time):
     pts = [

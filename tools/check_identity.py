@@ -11,7 +11,7 @@ rule, in two modes:
 benchmark report written by ``benchmarks/bench_throughput.py``::
 
     python tools/check_identity.py --report benchmarks/results/BENCH_throughput_smoke.json \
-        --require sharded_vs_seed remote_vs_seed table_oracle_vs_seed
+        --require sharded_vs_seed remote_vs_seed shard_reference_vs_seed
 
 Exits non-zero when any required key — or any key at all — is false.
 ``--expect-degraded`` additionally asserts the replicated fleet really
@@ -23,8 +23,12 @@ standard scenario, infer every query through both, and diff the routes::
 
     PYTHONPATH=src python tools/check_identity.py --config table_oracle --queries 8
 
-Configurations are named in ``CONFIGS``; each is expected to be
-results-identical to the seed by construction.
+Configurations are named in ``_configs``; each is expected to be
+results-identical to the seed by construction.  The ``shard_reference``
+configuration is special: it spins up a loopback shard fleet and runs
+``reference_mode="shard"``, so the diff also covers the
+``repro-remote-v3`` shard-side reference assembly and the client's
+cross-shard span stitching.
 """
 
 from __future__ import annotations
@@ -47,6 +51,9 @@ def _configs():
         "bidirectional": HRISConfig(bidirectional=True),
         "table_oracle": HRISConfig(transition_oracle="table", bidirectional=True),
         "no_landmarks": HRISConfig(n_landmarks=0),
+        # References assembled by a loopback shard fleet (repro-remote-v3);
+        # check_live swaps the archive for a RemoteShardedArchive.
+        "shard_reference": HRISConfig(reference_mode="shard"),
     }
 
 
@@ -102,10 +109,31 @@ def check_live(config_name: str, n_queries: int, interval: float) -> int:
     ]
     print(f"{len(queries)} queries · config {config_name!r} vs seed baseline")
 
-    h_seed = HRIS(scenario.network, scenario.archive, SEED_BASELINE)
-    h_cfg = HRIS(scenario.network, scenario.archive, configs[config_name])
-    ref = result_keys([h_seed.infer_routes(q) for q in queries])
-    got = result_keys([h_cfg.infer_routes(q) for q in queries])
+    servers = []
+    archive = scenario.archive
+    if config_name == "shard_reference":
+        from repro.core.archive import convert_archive
+        from repro.core.remote import ArchiveShardServer
+
+        num_shards, tile_size = 2, 800.0
+        servers = [
+            ArchiveShardServer(i, num_shards, tile_size).start()
+            for i in range(num_shards)
+        ]
+        addrs = [f"127.0.0.1:{s.address[1]}" for s in servers]
+        archive = convert_archive(scenario.archive, "remote", tile_size, addrs)
+        print(f"loopback fleet: {num_shards} shards, tile={tile_size:.0f}m")
+
+    try:
+        h_seed = HRIS(scenario.network, scenario.archive, SEED_BASELINE)
+        h_cfg = HRIS(scenario.network, archive, configs[config_name])
+        ref = result_keys([h_seed.infer_routes(q) for q in queries])
+        got = result_keys([h_cfg.infer_routes(q) for q in queries])
+    finally:
+        if servers:
+            archive.close()
+            for server in servers:
+                server.stop()
 
     diverged = [i for i, (a, b) in enumerate(zip(ref, got)) if a != b]
     if diverged:
