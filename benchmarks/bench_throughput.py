@@ -47,7 +47,12 @@ Measures, on the standard evaluation world:
   whole-trip-shipping baseline (near-pair queries plus every candidate
   trajectory shipped whole), and the run is repeated on a replicated
   fleet with one replica killed mid-stream
-  (``shard_reference_degraded_vs_seed``).
+  (``shard_reference_degraded_vs_seed``);
+* **query gateway** — the ``repro serve`` HTTP tier over loopback: every
+  query is replayed through the wire and must match the seed baseline
+  bit for bit (``gateway_vs_seed``), then an open-loop load generator
+  offers a fixed-QPS arrival schedule and records sustained throughput,
+  p50/p90/p99 serving latency, and the 429 shed count.
 
 Every configuration must produce identical top-K routes and scores; the
 benchmark verifies this and records the outcome.  Results are written as
@@ -135,6 +140,13 @@ def main(argv=None) -> int:
         type=int,
         default=2,
         help="replicas per shard for the degraded-mode configuration",
+    )
+    parser.add_argument(
+        "--qps",
+        type=float,
+        default=0.0,
+        help="offered load for the gateway open-loop phase "
+        "(0 = 80%% of measured sequential capacity)",
     )
     parser.add_argument("--out", type=Path, default=None, help="output JSON path")
     parser.add_argument(
@@ -506,6 +518,93 @@ def main(argv=None) -> int:
         f"replicas healthy"
     )
 
+    # --- query gateway: the HTTP serving tier over loopback ---------------
+    # Identity phase first: every query through the wire, sequentially —
+    # JSON round-trips floats exactly, so the served routes and scores
+    # must match the seed baseline bit for bit.  Then an open-loop load
+    # generator: arrivals on a fixed schedule at the offered QPS, one
+    # connection per request, so a slow reply never delays the next
+    # arrival and queueing shows up as latency (or 429s), not as a
+    # slower client.
+    import threading  # noqa: E402
+
+    from repro.serve import (  # noqa: E402
+        GatewayClient,
+        GatewayConfig,
+        InferenceGateway,
+        hris_backends,
+    )
+    from repro.serve.metrics import percentile as nearest_rank  # noqa: E402
+
+    gw_workers = args.workers
+    h_gw = HRIS(scenario.network, scenario.archive, HRISConfig())
+    gateway = InferenceGateway(
+        hris_backends(h_gw, gw_workers),
+        GatewayConfig(max_inflight=4 * gw_workers, max_queue=4 * gw_workers),
+    )
+    gw_host, gw_port = gateway.start()
+
+    gw_identity_keys = []
+    with GatewayClient(gw_host, gw_port) as client:
+        for query in queries:
+            reply = client.infer(query)
+            if reply.status != 200:
+                raise RuntimeError(f"gateway identity phase: {reply.payload}")
+            gw_identity_keys.append(reply.route_keys())
+
+    offered_qps = args.qps
+    if not offered_qps:
+        # Offer ~80% of the measured sequential capacity so the
+        # committed numbers show sustained serving, not pure shed.
+        # Inference is CPU-bound Python, so extra workers buy queueing
+        # depth and coalescing, not throughput — no worker multiplier.
+        offered_qps = round(0.8 * len(queries) / t_engine, 2)
+    n_requests = min(4 * len(queries), 240)
+    gw_lock = threading.Lock()
+    gw_samples = []  # (status, latency_s)
+
+    def fire(query, fire_at):
+        time.sleep(max(0.0, fire_at - time.perf_counter()))
+        t0 = time.perf_counter()
+        try:
+            with GatewayClient(gw_host, gw_port) as c:
+                status = c.infer(query).status
+        except OSError:
+            status = -1
+        dt = time.perf_counter() - t0
+        with gw_lock:
+            gw_samples.append((status, dt))
+
+    load_start = time.perf_counter() + 0.2
+    gens = [
+        threading.Thread(
+            target=fire,
+            args=(queries[i % len(queries)], load_start + i / offered_qps),
+            daemon=True,
+        )
+        for i in range(n_requests)
+    ]
+    for th in gens:
+        th.start()
+    for th in gens:
+        th.join()
+    gw_wall = time.perf_counter() - load_start
+    with GatewayClient(gw_host, gw_port) as client:
+        gw_metrics = client.metrics().payload
+    gateway.stop()
+
+    gw_ok_lat = sorted(dt for st, dt in gw_samples if st == 200)
+    gw_shed = sum(1 for st, __ in gw_samples if st == 429)
+    gw_errors = sum(1 for st, __ in gw_samples if st not in (200, 429))
+    gw_coalesced = gw_metrics["endpoints"]["/v1/infer"]["coalesced"]
+    print(
+        f"gateway ({gw_workers} workers, open loop {offered_qps:.1f} qps "
+        f"offered): {len(gw_ok_lat)}/{n_requests} served in {gw_wall:.3f}s "
+        f"({len(gw_ok_lat) / gw_wall:.1f} qps), {gw_shed} shed, "
+        f"{gw_coalesced} coalesced, "
+        f"p99={nearest_rank(gw_ok_lat, 99.0) * 1e3:.1f}ms"
+    )
+
     # --- identity: every configuration must agree exactly -----------------
     ref = result_keys(res_seed)
     identical = {
@@ -523,6 +622,7 @@ def main(argv=None) -> int:
         "shard_reference_vs_seed": result_keys(res_ref_shard) == ref
         and result_keys(res_ref_local) == ref,
         "shard_reference_degraded_vs_seed": result_keys(res_ref_rep) == ref,
+        "gateway_vs_seed": gw_identity_keys == ref,
     }
     print(f"identity: {identical}")
     accuracy = sum(
@@ -677,6 +777,27 @@ def main(argv=None) -> int:
                 "failovers": ref_rep_stats["failovers"],
                 "healthy_replicas": ref_rep_stats["healthy_replicas"],
                 "total_replicas": ref_rep_stats["total_replicas"],
+            },
+        },
+        "gateway": {
+            "workers": gw_workers,
+            "max_inflight": 4 * gw_workers,
+            "max_queue": 4 * gw_workers,
+            "open_loop": {
+                "offered_qps": offered_qps,
+                "requests": n_requests,
+                "served": len(gw_ok_lat),
+                "shed_429": gw_shed,
+                "errors": gw_errors,
+                "coalesced": gw_coalesced,
+                "wall_s": round(gw_wall, 4),
+                "achieved_qps": round(len(gw_ok_lat) / gw_wall, 3),
+                "latency_s": {
+                    "p50": round(nearest_rank(gw_ok_lat, 50.0), 6),
+                    "p90": round(nearest_rank(gw_ok_lat, 90.0), 6),
+                    "p99": round(nearest_rank(gw_ok_lat, 99.0), 6),
+                    "max": round(gw_ok_lat[-1], 6) if gw_ok_lat else 0.0,
+                },
             },
         },
         "speedups": {

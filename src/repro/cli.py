@@ -1,19 +1,21 @@
 """Command-line interface.
 
-Four subcommands cover the generate → infer → evaluate loop — plus
-serving the archive's spatial tier from separate processes — without
-writing any Python:
+Five subcommands cover the generate → infer → evaluate loop — plus the
+two long-running services — without writing any Python:
 
 * ``generate``      — build a synthetic scenario and save it to a directory;
 * ``infer``         — run HRIS on one saved query and print the top-K routes;
 * ``evaluate``      — compare HRIS and the baselines across sampling
   intervals;
+* ``serve``         — run the async HTTP/JSON query gateway: online HRIS
+  inference behind admission control, request coalescing and graceful
+  drain (see ``docs/serving.md``);
 * ``archive-serve`` — run one archive shard server: the process owns a
   subset of spatial tiles, answers the reference search's range queries
   for them, and (``repro-remote-v3``) summarises and assembles reference
   candidates from the observations it owns (see ``docs/distributed.md``).
 
-``infer`` and ``evaluate`` pick the archive backend with
+``infer``, ``evaluate`` and ``serve`` pick the archive backend with
 ``--archive-backend {memory,sharded,remote}``: one in-process R-tree, an
 in-process tiled index, or fan-out to ``archive-serve`` processes named
 by repeated ``--shard-addr host:port`` flags.  With the remote backend,
@@ -27,6 +29,7 @@ Usage::
     python -m repro.cli generate --out world/ --seed 7
     python -m repro.cli infer --world world/ --query 0 --interval 180 --k 5
     python -m repro.cli evaluate --world world/ --intervals 180 420 900
+    python -m repro.cli serve --world world/ --port 8080 --workers 2
     python -m repro.cli archive-serve --port 7701 --shard-index 0 --num-shards 2
 """
 
@@ -210,6 +213,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_archive_options(ev)
 
+    gw = sub.add_parser(
+        "serve",
+        help=(
+            "serve HRIS inference over HTTP/JSON: bounded admission "
+            "queue with 429 load-shedding, request coalescing, "
+            "per-endpoint latency metrics and graceful drain on SIGTERM "
+            "(see docs/serving.md)"
+        ),
+    )
+    gw.add_argument("--world", required=True, help="scenario directory")
+    gw.add_argument("--host", default="127.0.0.1", help="bind address")
+    gw.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks one; it is printed)"
+    )
+    gw.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "inference workers: each owns a private HRIS clone (shared "
+            "network/archive/landmarks, private caches) so concurrent "
+            "requests never contend — results are identical at any count"
+        ),
+    )
+    gw.add_argument(
+        "--max-inflight",
+        type=int,
+        default=16,
+        help=(
+            "admitted (queued + executing) inference jobs before new "
+            "requests are shed with HTTP 429"
+        ),
+    )
+    gw.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="jobs waiting for a worker before new requests are shed",
+    )
+    _add_archive_options(gw)
+
     serve = sub.add_parser(
         "archive-serve",
         help=(
@@ -262,29 +306,52 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_world(args: argparse.Namespace):
-    """``load_scenario`` for infer/evaluate, with archive-flag validation."""
+    """``load_scenario`` for infer/evaluate/serve, with flag validation."""
+    from repro.core.remote import parse_address
+
     if args.archive_backend == "remote" and not args.shard_addr:
         raise _CLIError(
             "--archive-backend remote needs at least one --shard-addr host:port"
         )
     if args.shard_addr and args.archive_backend != "remote":
         raise _CLIError("--shard-addr only applies to --archive-backend remote")
+    for addr in args.shard_addr or ():
+        try:
+            parse_address(addr)
+        except ValueError as exc:
+            raise _CLIError(f"bad --shard-addr {addr!r}: {exc}")
     if args.replication is not None:
         if args.archive_backend != "remote":
             raise _CLIError("--replication only applies to --archive-backend remote")
         if args.replication < 1:
             raise _CLIError("--replication must be a positive replica count")
+        # R replicas of every shard means R·num_shards addresses: any
+        # non-multiple count cannot possibly satisfy the handshake, so
+        # refuse the conflicting combination before dialling the fleet.
+        if len(args.shard_addr) % args.replication != 0:
+            raise _CLIError(
+                f"{len(args.shard_addr)} --shard-addr address(es) cannot form "
+                f"replica sets of exactly --replication {args.replication}: "
+                f"the address count must be a multiple of the replica count"
+            )
     if args.reference_mode == "shard" and args.archive_backend != "remote":
         raise _CLIError(
             "--reference-mode shard only applies to --archive-backend remote "
             "(shards assemble the references)"
         )
+    # The gateway's workers issue shard requests concurrently: give the
+    # remote client one pooled connection per worker (see
+    # _ShardConnectionPool).  Identical results at any pool size.
+    pool_size = None
+    if args.archive_backend == "remote" and args.command == "serve":
+        pool_size = max(1, args.workers)
     return load_scenario(
         args.world,
         archive_backend=args.archive_backend,
         tile_size=args.tile_size,
         shard_addrs=args.shard_addr,
         replication=args.replication,
+        pool_size=pool_size,
     )
 
 
@@ -395,6 +462,52 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import GatewayConfig, InferenceGateway, hris_backends
+
+    if args.workers < 1:
+        raise _CLIError("--workers must be at least 1")
+    if args.max_inflight < 1:
+        raise _CLIError("--max-inflight must be at least 1")
+    if args.max_queue < 1:
+        raise _CLIError("--max-queue must be at least 1")
+    scenario = _load_world(args)
+    config = HRISConfig(reference_mode=args.reference_mode)
+    hris = HRIS(
+        scenario.network,
+        scenario.archive,
+        config,
+        landmark_index=_landmark_index_for(
+            Path(args.world),
+            scenario.network,
+            config.n_landmarks,
+            enabled=not args.no_landmark_cache,
+        ),
+    )
+    gateway = InferenceGateway(
+        hris_backends(hris, args.workers),
+        GatewayConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+        ),
+    )
+
+    def announce(address) -> None:
+        host, port = address
+        print(
+            f"gateway serving {args.world} on http://{host}:{port} "
+            f"({args.workers} worker(s), archive backend "
+            f"{args.archive_backend}); SIGTERM drains",
+            flush=True,
+        )
+
+    gateway.run(announce=announce)
+    print("gateway drained cleanly")
+    return 0
+
+
 def _cmd_archive_serve(args: argparse.Namespace) -> int:
     from repro.core.archive import ShardedArchive
     from repro.core.remote import ArchiveShardServer
@@ -407,6 +520,21 @@ def _cmd_archive_serve(args: argparse.Namespace) -> int:
     tile_size = (
         args.tile_size if args.tile_size is not None else ShardedArchive.DEFAULT_TILE_SIZE
     )
+    # Conflicting flag combinations must exit 2 with a one-line usage
+    # error, never surface ArchiveShardServer's ValueError traceback.
+    if args.num_shards < 1:
+        raise _CLIError("--num-shards must be at least 1")
+    if not 0 <= shard_index < args.num_shards:
+        flag = "--shard-index" if args.shard_index is not None else "--replica-of"
+        raise _CLIError(
+            f"{flag} {shard_index} conflicts with --num-shards "
+            f"{args.num_shards}: shard indexes run 0.."
+            f"{args.num_shards - 1}"
+        )
+    if tile_size <= 0:
+        raise _CLIError("--tile-size must be positive")
+    if args.replica_id < 0:
+        raise _CLIError("--replica-id must be non-negative")
     server = ArchiveShardServer(
         shard_index,
         args.num_shards,
@@ -446,6 +574,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_infer(args)
         if args.command == "evaluate":
             return _cmd_evaluate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "archive-serve":
             return _cmd_archive_serve(args)
     except _CLIError as exc:

@@ -595,6 +595,7 @@ def make_archive(
     tile_size: Optional[float] = None,
     shard_addrs: Optional[Sequence[str]] = None,
     replication: Optional[int] = None,
+    pool_size: Optional[int] = None,
 ) -> _ArchiveBase:
     """Construct an empty archive of the requested backend.
 
@@ -612,11 +613,18 @@ def make_archive(
             replica set.
         replication: Optional replicas-per-shard count to enforce on the
             remote backend's handshake (remote only).
+        pool_size: Optional persistent connections kept per replica
+            (remote only; default 1).  Concurrent callers — the serving
+            gateway's worker pool — raise it to multiplex in-flight
+            requests per replica instead of serialising on one socket.
 
     Raises:
         ValueError: On an unknown backend name, a remote backend without
-            shard addresses, or ``replication`` with a local backend.
+            shard addresses, or ``replication``/``pool_size`` with a
+            local backend.
     """
+    if backend != "remote" and pool_size is not None:
+        raise ValueError("pool_size only applies to the remote backend")
     if backend != "remote" and replication is not None:
         raise ValueError("replication only applies to the remote backend")
     if backend == "memory":
@@ -634,7 +642,10 @@ def make_archive(
         from repro.core.remote import RemoteShardedArchive
 
         return RemoteShardedArchive(
-            shard_addrs, expected_tile_size=tile_size, replication=replication
+            shard_addrs,
+            expected_tile_size=tile_size,
+            replication=replication,
+            pool_size=pool_size if pool_size is not None else 1,
         )
     raise ValueError(
         f"unknown archive backend {backend!r}; expected one of {ARCHIVE_BACKENDS}"

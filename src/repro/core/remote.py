@@ -966,6 +966,89 @@ class _ShardConnection:
         raise ShardUnavailableError(self.address, op, attempts, cause)
 
 
+class _ShardConnectionPool:
+    """A bounded pool of persistent connections to one replica.
+
+    :class:`_ShardConnection` serialises requests behind a per-connection
+    lock — exactly right for one blocking client, but the gateway's
+    concurrent workers would all queue on a single socket per replica.
+    The pool keeps up to ``size`` persistent connections to the same
+    address: a request borrows an idle one (created lazily while under
+    the cap, otherwise waiting for a return), so up to ``size`` requests
+    are in flight to the replica *concurrently* while every socket is
+    still reused across requests rather than opened per request.
+
+    The surface — ``request`` / ``close`` / ``address`` — matches
+    :class:`_ShardConnection`, so replica sets, the circuit breaker and
+    the failover path are oblivious to which of the two they hold.
+    ``close`` drops every pooled socket (waiting out in-flight requests,
+    like the single connection's ``close``); the pool then reconnects
+    lazily, which keeps ``prepare_for_fork`` semantics unchanged.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout_s: float,
+        retries: int,
+        backoff_s: float,
+        latencies: MutableSequence[float],
+        size: int,
+        rng: Optional[random.Random] = None,
+        meter: Optional[WireMeter] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("a connection pool needs a positive size")
+        self.address = address
+        self.size = size
+        self._timeout_s = timeout_s
+        self._retries = retries
+        self._backoff_s = backoff_s
+        self._latencies = latencies
+        self._meter = meter
+        self._seeder = rng if rng is not None else random.Random()
+        self._cond = threading.Condition()
+        self._idle: List[_ShardConnection] = []
+        self._conns: List[_ShardConnection] = []
+
+    def _acquire(self) -> _ShardConnection:
+        with self._cond:
+            while True:
+                if self._idle:
+                    return self._idle.pop()
+                if len(self._conns) < self.size:
+                    conn = _ShardConnection(
+                        self.address,
+                        self._timeout_s,
+                        self._retries,
+                        self._backoff_s,
+                        self._latencies,
+                        rng=random.Random(self._seeder.getrandbits(64)),
+                        meter=self._meter,
+                    )
+                    self._conns.append(conn)
+                    return conn
+                self._cond.wait()
+
+    def _release(self, conn: _ShardConnection) -> None:
+        with self._cond:
+            self._idle.append(conn)
+            self._cond.notify()
+
+    def request(self, payload: dict) -> dict:
+        conn = self._acquire()
+        try:
+            return conn.request(payload)
+        finally:
+            self._release(conn)
+
+    def close(self) -> None:
+        with self._cond:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.close()
+
+
 # ------------------------------------------------------------- replica sets
 
 
@@ -988,7 +1071,11 @@ class _ReplicaState:
         "successes",
     )
 
-    def __init__(self, conn: _ShardConnection, replica_id: int) -> None:
+    def __init__(
+        self,
+        conn: Union[_ShardConnection, _ShardConnectionPool],
+        replica_id: int,
+    ) -> None:
         self.conn = conn
         self.replica_id = replica_id
         self.state = _CLOSED
@@ -1292,6 +1379,14 @@ class RemoteShardedArchive(_ArchiveBase):
         latency_window: Cap on the request-latency telemetry ring.
         jitter_seed: Seed for the backoff jitter streams (tests); the
             default seeds from the OS.
+        pool_size: Persistent connections kept per replica.  The default
+            of 1 is the historical behaviour — one socket per replica,
+            requests serialised behind its lock.  Concurrent callers
+            (the serving gateway's worker pool) pass their worker count
+            so each replica multiplexes up to that many in-flight
+            requests over reused sockets (see
+            :class:`_ShardConnectionPool`).  Results are identical at
+            any pool size.
     """
 
     def __init__(
@@ -1306,11 +1401,14 @@ class RemoteShardedArchive(_ArchiveBase):
         breaker_cooldown_s: float = 1.0,
         latency_window: int = LATENCY_WINDOW,
         jitter_seed: Optional[int] = None,
+        pool_size: int = 1,
     ) -> None:
         if not addresses:
             raise ValueError("a remote archive needs at least one shard address")
         if replication is not None and replication < 1:
             raise ValueError("replication must be a positive replica count")
+        if pool_size < 1:
+            raise ValueError("pool_size must be a positive connection count")
         super().__init__()
         self.request_latencies: MutableSequence[float] = deque(maxlen=latency_window)
         #: Bytes/frames in both directions across all shard connections.
@@ -1318,19 +1416,35 @@ class RemoteShardedArchive(_ArchiveBase):
         self._timeout_s = timeout_s
         self._retries = retries
         self._backoff_s = backoff_s
+        self._pool_size = pool_size
         seeder = random.Random(jitter_seed)
-        connections = [
-            _ShardConnection(
-                parse_address(a),
-                timeout_s,
-                retries,
-                backoff_s,
-                self.request_latencies,
-                rng=random.Random(seeder.getrandbits(64)),
-                meter=self.wire_meter,
-            )
-            for a in addresses
-        ]
+        if pool_size == 1:
+            connections = [
+                _ShardConnection(
+                    parse_address(a),
+                    timeout_s,
+                    retries,
+                    backoff_s,
+                    self.request_latencies,
+                    rng=random.Random(seeder.getrandbits(64)),
+                    meter=self.wire_meter,
+                )
+                for a in addresses
+            ]
+        else:
+            connections = [
+                _ShardConnectionPool(
+                    parse_address(a),
+                    timeout_s,
+                    retries,
+                    backoff_s,
+                    self.request_latencies,
+                    size=pool_size,
+                    rng=random.Random(seeder.getrandbits(64)),
+                    meter=self.wire_meter,
+                )
+                for a in addresses
+            ]
         by_index: Dict[int, List[Tuple[_ShardConnection, dict]]] = {}
         tile_size: Optional[float] = None
         num_shards: Optional[int] = None
@@ -1711,6 +1825,7 @@ class RemoteShardedArchive(_ArchiveBase):
             "restorations": sum(s["restorations"] for s in health),
             "latency_window": self.request_latencies.maxlen,
             "latencies_recorded": len(self.request_latencies),
+            "pool_size": self._pool_size,
         }
 
 

@@ -323,6 +323,29 @@ class HRIS:
         """The routing engine shared by every inference component."""
         return self._engine
 
+    def worker_clone(self) -> "HRIS":
+        """A sibling instance for another serving thread.
+
+        The clone shares this instance's read-only state — network,
+        archive backend and ALT landmark tables — but owns fresh caches,
+        oracle state and reference-search session: exactly the pieces
+        mutated per query, none of which are thread-safe.  Results are
+        bit-identical to this instance's (caches change when work
+        happens, never what is computed); only cache warm-up is private.
+
+        The gateway (:mod:`repro.serve`) builds one clone per worker so
+        concurrent requests never share a mutable engine.  With
+        ``reference_mode="shard"`` the clone opens its own
+        ``trip_source()`` session, since a reference-assembly session
+        carries per-query state.
+        """
+        return HRIS(
+            self._network,
+            self._archive,
+            self._config,
+            landmark_index=self._engine.landmarks,
+        )
+
     def infer_routes(
         self, query: Trajectory, k: Optional[int] = None
     ) -> List[GlobalRoute]:

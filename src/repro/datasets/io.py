@@ -55,6 +55,7 @@ def load_scenario(
     tile_size: Optional[float] = None,
     shard_addrs: Optional[Sequence[str]] = None,
     replication: Optional[int] = None,
+    pool_size: Optional[int] = None,
 ) -> Scenario:
     """Read a scenario saved by :func:`save_scenario`.
 
@@ -73,6 +74,9 @@ def load_scenario(
         replication: Expected replicas per shard (remote backend only);
             the handshake fails unless every shard has exactly this many
             servers among ``shard_addrs``.
+        pool_size: Persistent connections kept per replica (remote
+            backend only); concurrent servers raise it to their worker
+            count so shard requests multiplex instead of serialising.
 
     Raises:
         FileNotFoundError: If any artefact is missing.
@@ -80,7 +84,9 @@ def load_scenario(
     """
     directory = Path(directory)
     network = load_network(directory / _NETWORK_FILE)
-    archive = make_archive(archive_backend, tile_size, shard_addrs, replication)
+    archive = make_archive(
+        archive_backend, tile_size, shard_addrs, replication, pool_size
+    )
     for trip in load_trajectories(directory / _ARCHIVE_FILE):
         archive.add(trip)
     with open(directory / _QUERIES_FILE, "r", encoding="utf-8") as f:

@@ -1,0 +1,19 @@
+"""Online serving: the async HTTP/JSON query gateway.
+
+See :mod:`repro.serve.gateway` for the service itself and
+``docs/serving.md`` for the operator handbook.
+"""
+
+from repro.serve.client import GatewayClient, GatewayReply
+from repro.serve.gateway import GatewayConfig, InferenceGateway, hris_backends
+from repro.serve.metrics import GatewayMetrics, percentile
+
+__all__ = [
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayMetrics",
+    "GatewayReply",
+    "InferenceGateway",
+    "hris_backends",
+    "percentile",
+]

@@ -1,0 +1,147 @@
+"""A minimal keep-alive client for the gateway (tests, bench, docs).
+
+Wraps :class:`http.client.HTTPConnection` — one persistent socket per
+client, reused across requests exactly like a real caller would — and
+decodes the JSON answers.  Non-2xx responses are returned, not raised:
+load generators need to *count* 429s, and the failure-matrix tests
+assert on exact statuses.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.trajectory.io import trajectory_to_dict
+from repro.trajectory.model import Trajectory
+
+__all__ = ["GatewayClient", "GatewayReply"]
+
+
+class GatewayReply:
+    """One decoded gateway answer."""
+
+    __slots__ = ("status", "headers", "payload")
+
+    def __init__(self, status: int, headers: Dict[str, str], payload: Any) -> None:
+        self.status = status
+        self.headers = headers
+        self.payload = payload
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        value = self.headers.get("retry-after")
+        return float(value) if value is not None else None
+
+    def route_keys(self) -> List[Tuple[Tuple[int, ...], float]]:
+        """The routes as ``(segment_ids, round(log_score, 9))`` keys.
+
+        The same shape as ``bench_throughput.result_keys`` builds from
+        direct :meth:`HRIS.infer_routes` results, so identity checks are
+        a straight ``==``.
+        """
+        return [
+            (tuple(route["segments"]), round(route["log_score"], 9))
+            for route in self.payload["routes"]
+        ]
+
+
+class GatewayClient:
+    """One persistent HTTP/1.1 connection to a gateway.
+
+    Not thread-safe — like the socket it wraps.  Concurrent load
+    generators hold one client per worker thread.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------ plumbing
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout_s
+            )
+        return self._conn
+
+    def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> GatewayReply:
+        """One request/response exchange, reconnecting once if the
+        server closed the persistent connection between requests."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                socket.timeout,
+                OSError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        reply_headers = {k.lower(): v for k, v in response.getheaders()}
+        decoded = json.loads(raw.decode("utf-8")) if raw else None
+        if reply_headers.get("connection", "").lower() == "close":
+            self.close()
+        return GatewayReply(response.status, reply_headers, decoded)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ endpoints
+
+    def infer(self, query, k: Optional[int] = None) -> GatewayReply:
+        """``POST /v1/infer``.  ``query`` is a :class:`Trajectory`, a
+        ``trajectory_to_dict`` payload, or a bare point list."""
+        if isinstance(query, Trajectory):
+            query = trajectory_to_dict(query)
+        payload: Dict[str, Any] = {"query": query}
+        if k is not None:
+            payload["k"] = k
+        return self.request("POST", "/v1/infer", payload)
+
+    def infer_batch(self, queries, k: Optional[int] = None) -> GatewayReply:
+        """``POST /v1/infer_batch`` over many queries."""
+        encoded = [
+            trajectory_to_dict(q) if isinstance(q, Trajectory) else q
+            for q in queries
+        ]
+        payload: Dict[str, Any] = {"queries": encoded}
+        if k is not None:
+            payload["k"] = k
+        return self.request("POST", "/v1/infer_batch", payload)
+
+    def healthz(self) -> GatewayReply:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> GatewayReply:
+        return self.request("GET", "/metrics")

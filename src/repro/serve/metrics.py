@@ -1,0 +1,113 @@
+"""Per-endpoint gateway metrics: counters plus latency percentiles.
+
+Everything here is mutated only from the gateway's event loop, so no
+locking is needed; ``GET /metrics`` snapshots a consistent view by
+construction.  Latencies live in a bounded deque per endpoint — the
+window covers the recent past (enough for p99 at serving rates) without
+letting a long-lived process grow without bound.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+__all__ = ["EndpointMetrics", "GatewayMetrics", "percentile"]
+
+#: Default samples retained per endpoint for the percentile window.
+LATENCY_WINDOW = 4096
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by the nearest-rank method.
+
+    Returns 0.0 on an empty sample — the metrics endpoint must always
+    answer, including before the first request.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+class EndpointMetrics:
+    """Counters and a latency window for one endpoint."""
+
+    __slots__ = (
+        "requests",
+        "ok",
+        "client_errors",
+        "server_errors",
+        "rejected",
+        "coalesced",
+        "_latencies",
+    )
+
+    def __init__(self, window: int = LATENCY_WINDOW) -> None:
+        self.requests = 0
+        self.ok = 0
+        self.client_errors = 0
+        self.server_errors = 0
+        self.rejected = 0  # 429 load-shed + 503 draining
+        self.coalesced = 0  # answered by another request's in-flight future
+        self._latencies: Deque[float] = deque(maxlen=window)
+
+    def record(self, status: int, latency_s: float, coalesced: bool = False) -> None:
+        self.requests += 1
+        if coalesced:
+            self.coalesced += 1
+        if status in (429, 503):
+            self.rejected += 1
+        elif status >= 500:
+            self.server_errors += 1
+        elif status >= 400:
+            self.client_errors += 1
+        else:
+            self.ok += 1
+        self._latencies.append(latency_s)
+
+    def snapshot(self) -> Dict[str, object]:
+        window: List[float] = list(self._latencies)
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "client_errors": self.client_errors,
+            "server_errors": self.server_errors,
+            "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "latency_s": {
+                "count": len(window),
+                "mean": (sum(window) / len(window)) if window else 0.0,
+                "p50": percentile(window, 50.0),
+                "p90": percentile(window, 90.0),
+                "p99": percentile(window, 99.0),
+                "max": max(window) if window else 0.0,
+            },
+        }
+
+
+class GatewayMetrics:
+    """All endpoints plus gateway-level gauges, keyed by endpoint path."""
+
+    def __init__(self, window: int = LATENCY_WINDOW) -> None:
+        self._window = window
+        self._endpoints: Dict[str, EndpointMetrics] = {}
+
+    def endpoint(self, path: str) -> EndpointMetrics:
+        metrics = self._endpoints.get(path)
+        if metrics is None:
+            metrics = self._endpoints[path] = EndpointMetrics(self._window)
+        return metrics
+
+    def snapshot(self, gauges: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "endpoints": {
+                path: metrics.snapshot()
+                for path, metrics in sorted(self._endpoints.items())
+            }
+        }
+        if gauges:
+            payload["gateway"] = gauges
+        return payload

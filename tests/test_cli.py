@@ -303,3 +303,131 @@ class TestCommands:
             == 0
         )
         assert not (world / "landmarks.json").exists()
+
+
+class TestServeCommand:
+    """The gateway subcommand and the conflicting-flag regression tests.
+
+    Before the fix, ``archive-serve`` with a shard index outside
+    ``--num-shards`` (or a non-positive ``--num-shards``/``--tile-size``)
+    surfaced ``ArchiveShardServer``'s ``ValueError`` as a traceback, and
+    ``serve`` with a ``--shard-addr`` count that cannot form
+    ``--replication`` replica sets dialled the fleet before failing.
+    All of these must be usage errors: one line on stderr, exit 2.
+    """
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--world", "w"])
+        assert args.port == 0
+        assert args.workers == 1
+        assert args.max_inflight == 16
+        assert args.max_queue == 16
+        assert args.archive_backend == "memory"
+
+    def test_serve_rejects_conflicting_shard_addr_replication(
+        self, world_dir, capsys
+    ):
+        code = main(
+            ["serve", "--world", str(world_dir),
+             "--archive-backend", "remote",
+             "--shard-addr", "127.0.0.1:7701",
+             "--shard-addr", "127.0.0.1:7702",
+             "--shard-addr", "127.0.0.1:7703",
+             "--replication", "2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "multiple of the replica count" in err
+        assert "Traceback" not in err
+
+    def test_serve_rejects_malformed_shard_addr(self, world_dir, capsys):
+        code = main(
+            ["serve", "--world", str(world_dir),
+             "--archive-backend", "remote", "--shard-addr", "localhost"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--shard-addr" in err
+        assert "Traceback" not in err
+
+    def test_serve_rejects_bad_worker_and_queue_counts(self, world_dir, capsys):
+        assert main(["serve", "--world", str(world_dir), "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert (
+            main(["serve", "--world", str(world_dir), "--max-inflight", "0"]) == 2
+        )
+        assert "--max-inflight" in capsys.readouterr().err
+        assert main(["serve", "--world", str(world_dir), "--max-queue", "-1"]) == 2
+        assert "--max-queue" in capsys.readouterr().err
+
+    def test_serve_replication_without_remote_rejected(self, world_dir, capsys):
+        code = main(
+            ["serve", "--world", str(world_dir), "--replication", "2"]
+        )
+        assert code == 2
+        assert "remote" in capsys.readouterr().err
+
+    def test_archive_serve_rejects_out_of_range_shard_index(self, capsys):
+        code = main(["archive-serve", "--shard-index", "5", "--num-shards", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--shard-index 5 conflicts with --num-shards 2" in err
+        assert "Traceback" not in err
+
+    def test_archive_serve_rejects_out_of_range_replica_of(self, capsys):
+        code = main(["archive-serve", "--replica-of", "3", "--num-shards", "3"])
+        assert code == 2
+        assert "--replica-of 3 conflicts with --num-shards 3" in capsys.readouterr().err
+
+    def test_archive_serve_rejects_bad_counts(self, capsys):
+        assert main(["archive-serve", "--shard-index", "0", "--num-shards", "0"]) == 2
+        assert "--num-shards" in capsys.readouterr().err
+        assert (
+            main(["archive-serve", "--shard-index", "0", "--num-shards", "1",
+                  "--tile-size", "0"])
+            == 2
+        )
+        assert "--tile-size" in capsys.readouterr().err
+        assert (
+            main(["archive-serve", "--shard-index", "0", "--num-shards", "1",
+                  "--replica-id", "-1"])
+            == 2
+        )
+        assert "--replica-id" in capsys.readouterr().err
+
+    def test_serve_gateway_end_to_end(self, world_dir):
+        """``repro serve`` semantics through the library path the CLI uses.
+
+        Drives the exact objects ``_cmd_serve`` builds (the command
+        itself blocks serving forever) and checks a served query matches
+        ``repro infer``'s routes for the same world.
+        """
+        from repro.core.system import HRIS, HRISConfig
+        from repro.datasets.io import load_scenario
+        from repro.serve import (
+            GatewayClient,
+            GatewayConfig,
+            InferenceGateway,
+            hris_backends,
+        )
+
+        scenario = load_scenario(world_dir)
+        hris = HRIS(scenario.network, scenario.archive, HRISConfig())
+        query = scenario.queries[0].query
+        direct = [
+            (tuple(g.route.segment_ids), round(g.log_score, 9))
+            for g in hris.infer_routes(query)
+        ]
+        gateway = InferenceGateway(
+            hris_backends(hris, 2),
+            GatewayConfig(max_inflight=4, max_queue=4),
+        )
+        host, port = gateway.start()
+        try:
+            with GatewayClient(host, port) as client:
+                reply = client.infer(query)
+                assert reply.status == 200
+                assert reply.route_keys() == direct
+                assert client.healthz().payload["status"] == "ok"
+        finally:
+            gateway.stop()

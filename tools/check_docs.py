@@ -1,20 +1,25 @@
 #!/usr/bin/env python
-"""Documentation checks: resolvable links and an executable tutorial.
+"""Documentation checks: resolvable links, reachability, executable docs.
 
-Two guarantees, enforced in CI (the ``docs`` job):
+Three guarantees, enforced in CI (the ``docs`` job):
 
 1. **Every intra-repository markdown link resolves.**  All relative
    links in ``README.md``, ``DESIGN.md``, ``EXPERIMENTS.md`` and
    ``docs/*.md`` must point at files that exist (anchors and external
    ``http(s)``/``mailto`` targets are skipped).
 
-2. **The tutorial runs.**  The plain ```` ```python ```` code blocks of
-   ``docs/tutorial.md`` are executed *in order, in one shared
-   namespace*, from a temporary working directory — the tutorial is a
-   continuous session, so renamed APIs or undefined variables fail CI
-   instead of rotting on the page.  Blocks tagged
-   ```` ```python no-run ```` (those needing external files) are only
-   compile-checked.
+2. **No orphaned documentation.**  Every checked markdown file must be
+   reachable from ``README.md`` by following relative markdown links —
+   a handbook nobody links to is a handbook nobody reads.  Repository
+   meta-files (``ROADMAP.md``, ``CHANGES.md``, ...) are exempt.
+
+3. **Executable docs run.**  The plain ```` ```python ```` code blocks
+   of ``docs/tutorial.md`` and ``docs/serving.md`` are executed *in
+   order, in one shared namespace per document*, from a temporary
+   working directory — each document is a continuous session, so
+   renamed APIs or undefined variables fail CI instead of rotting on
+   the page.  Blocks tagged ```` ```python no-run ```` (those needing
+   external files or long-running servers) are only compile-checked.
 
 Usage::
 
@@ -41,6 +46,19 @@ _FENCE_RE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
 
 _EXTERNAL = ("http://", "https://", "mailto:")
 
+#: Documents whose ```python blocks are executed as separate sessions.
+EXECUTABLE_DOCS = ("docs/tutorial.md", "docs/serving.md")
+
+#: Repository meta-files that need not be linked from README.md.
+ORPHAN_EXEMPT = {
+    "ROADMAP.md",
+    "CHANGES.md",
+    "ISSUE.md",
+    "PAPER.md",
+    "PAPERS.md",
+    "SNIPPETS.md",
+}
+
 
 def doc_files() -> list[Path]:
     files = [
@@ -50,6 +68,22 @@ def doc_files() -> list[Path]:
     ]
     files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
     return files
+
+
+def _markdown_targets(doc: Path) -> list[Path]:
+    """Resolved intra-repo markdown files linked from ``doc``."""
+    targets = []
+    for match in _LINK_RE.finditer(doc.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part or not path_part.endswith(".md"):
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if resolved.exists():
+            targets.append(resolved)
+    return targets
 
 
 def check_links() -> list[str]:
@@ -73,10 +107,33 @@ def check_links() -> list[str]:
     return errors
 
 
-def tutorial_blocks() -> list[tuple[str, str, int]]:
-    """``(tag, source, line)`` per fenced block of the tutorial."""
-    path = REPO_ROOT / "docs" / "tutorial.md"
-    text = path.read_text(encoding="utf-8")
+def check_reachability() -> list[str]:
+    """Every checked doc must be reachable from README.md via links."""
+    readme = REPO_ROOT / "README.md"
+    if not readme.exists():
+        return ["README.md missing — cannot check documentation reachability"]
+    reachable = {readme}
+    frontier = [readme]
+    while frontier:
+        doc = frontier.pop()
+        for target in _markdown_targets(doc):
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    errors = []
+    for doc in doc_files():
+        rel = doc.relative_to(REPO_ROOT)
+        if doc in reachable or str(rel) in ORPHAN_EXEMPT:
+            continue
+        errors.append(
+            f"{rel}: orphaned — not reachable from README.md by markdown links"
+        )
+    return errors
+
+
+def doc_blocks(relpath: str) -> list[tuple[str, str, int]]:
+    """``(tag, source, line)`` per fenced block of a document."""
+    text = (REPO_ROOT / relpath).read_text(encoding="utf-8")
     blocks = []
     for match in _FENCE_RE.finditer(text):
         info = match.group(1).strip()
@@ -85,16 +142,21 @@ def tutorial_blocks() -> list[tuple[str, str, int]]:
     return blocks
 
 
-def check_tutorial() -> list[str]:
-    """Execute runnable blocks sequentially; compile-check ``no-run`` ones."""
+def check_executable(relpath: str) -> list[str]:
+    """Execute runnable blocks sequentially; compile-check ``no-run`` ones.
+
+    Each document runs in its own namespace and temporary working
+    directory: the tutorial and the serving handbook are independent
+    sessions.
+    """
     errors = []
-    namespace: dict = {"__name__": "__tutorial__"}
+    namespace: dict = {"__name__": "__" + Path(relpath).stem + "__"}
     cwd = os.getcwd()
-    with tempfile.TemporaryDirectory(prefix="repro-tutorial-") as workdir:
-        os.chdir(workdir)  # tutorial writes files (archive.jsonl, compare.svg)
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as workdir:
+        os.chdir(workdir)  # docs write files (archive.jsonl, compare.svg)
         try:
-            for info, source, line in tutorial_blocks():
-                label = f"docs/tutorial.md:{line}"
+            for info, source, line in doc_blocks(relpath):
+                label = f"{relpath}:{line}"
                 if info == "python no-run":
                     try:
                         compile(source, label, "exec")
@@ -119,14 +181,19 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-tutorial",
         action="store_true",
-        help="only check links (fast; no scenario build)",
+        help="only check links and reachability (fast; no scenario build)",
     )
     args = parser.parse_args(argv)
 
     errors = check_links()
     print(f"link check: {len(doc_files())} files, {len(errors)} broken link(s)")
+    orphans = check_reachability()
+    print(f"reachability check: {len(orphans)} orphaned file(s)")
+    errors.extend(orphans)
     if not args.skip_tutorial:
-        errors.extend(check_tutorial())
+        for relpath in EXECUTABLE_DOCS:
+            if (REPO_ROOT / relpath).exists():
+                errors.extend(check_executable(relpath))
     for error in errors:
         print(f"ERROR: {error}", file=sys.stderr)
     if not errors:

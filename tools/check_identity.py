@@ -54,6 +54,9 @@ def _configs():
         # References assembled by a loopback shard fleet (repro-remote-v3);
         # check_live swaps the archive for a RemoteShardedArchive.
         "shard_reference": HRISConfig(reference_mode="shard"),
+        # Served over HTTP by a loopback InferenceGateway; check_live
+        # replays every query through the wire and diffs the JSON routes.
+        "gateway": HRISConfig(),
     }
 
 
@@ -128,7 +131,31 @@ def check_live(config_name: str, n_queries: int, interval: float) -> int:
         h_seed = HRIS(scenario.network, scenario.archive, SEED_BASELINE)
         h_cfg = HRIS(scenario.network, archive, configs[config_name])
         ref = result_keys([h_seed.infer_routes(q) for q in queries])
-        got = result_keys([h_cfg.infer_routes(q) for q in queries])
+        if config_name == "gateway":
+            from repro.serve import (
+                GatewayClient,
+                GatewayConfig,
+                InferenceGateway,
+                hris_backends,
+            )
+
+            gateway = InferenceGateway(
+                hris_backends(h_cfg, 2), GatewayConfig(max_inflight=4, max_queue=4)
+            )
+            host, port = gateway.start()
+            print(f"loopback gateway: http://{host}:{port} (2 workers)")
+            try:
+                with GatewayClient(host, port) as client:
+                    replies = [client.infer(q) for q in queries]
+                for reply in replies:
+                    if reply.status != 200:
+                        print(f"FAIL: gateway returned {reply.status}: {reply.payload}")
+                        return 1
+                got = [reply.route_keys() for reply in replies]
+            finally:
+                gateway.stop()
+        else:
+            got = result_keys([h_cfg.infer_routes(q) for q in queries])
     finally:
         if servers:
             archive.close()
