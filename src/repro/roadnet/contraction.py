@@ -1,0 +1,1186 @@
+"""Contraction hierarchies: offline preprocessing for near-constant queries.
+
+The routing tiers so far (ALT, bidirectional ALT, PHAST-style table
+sweeps) all pay per-query work proportional to the searched ball.  A
+contraction hierarchy moves that work offline: nodes are *contracted* one
+by one in importance order, inserting *shortcut* edges that preserve all
+shortest-path distances among the remaining nodes.  Afterwards every
+shortest path has an up-down representation — it climbs to a single peak
+along edges into higher-ranked nodes, then descends — so a query only
+explores the two tiny upward search spaces.
+
+Three pieces live here:
+
+* :class:`ContractionHierarchy` — the preprocessing (edge-difference
+  ordering with lazy updates and a deterministic node-id tie-break,
+  bounded witness searches, shortcuts recording their contracted middle
+  node), the upward/downward adjacency, per-node backward search spaces
+  (*buckets*), and shortcut unpacking back to original edges.
+* :func:`ch_shortest_path` / the route helpers — point-to-point queries
+  with stall-on-demand whose distance **and node path are bit-identical
+  to** :func:`~repro.roadnet.shortest_path.dijkstra`: the canonical
+  min-id predecessor chain is reconstructed by a backward walk validated
+  through exact left-to-right re-accumulated labels (unpacked from the
+  hierarchy), with the same fall-back discipline ``bidi_astar`` uses
+  when float round-off defeats the stitching.
+* :class:`CHBucketOracle` — a bucket-based many-to-many backend with the
+  exact ``prepare`` / ``table`` / ``distance`` surface of
+  :class:`~repro.roadnet.table_oracle.DistanceTableOracle`: backward
+  upward spaces deposit per-target buckets, one forward upward search
+  per source row joins them, and every served distance is unpacked and
+  re-accumulated left-to-right so it bit-matches the ``dijkstra_all``
+  tables.
+
+Why re-accumulation makes the floats exact: a settled Dijkstra label is
+the minimum over paths of the *left-to-right* float sum of edge weights.
+Shortcut weights are sums in contraction order, so hierarchy-space labels
+can drift by ulps; instead of returning them, every distance handed out
+is recomputed left-to-right along the unpacked original-edge path — on
+tie-free networks that path is the unique shortest path, and on tie-heavy
+integral grids every optimal path sums exactly, so the result is the seed
+float in both regimes (the residual adversarial-tie risk is exactly the
+one ``bidi_astar`` already accepts, and the canonical walk falls back to
+the unidirectional search when it bites).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.roadnet.cache import LRUCache
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.route import Route
+from repro.roadnet.shortest_path import (
+    LandmarkIndex,
+    SearchStats,
+    _min_in_edges,
+    _search,
+    combined_heuristic,
+    node_path_to_route,
+)
+
+__all__ = [
+    "ContractionHierarchy",
+    "CHBucketOracle",
+    "ch_shortest_path",
+    "ch_shortest_route_between_nodes",
+    "ch_shortest_route_between_segments",
+]
+
+#: Witness searches stop after settling this many nodes; an inconclusive
+#: search conservatively inserts the shortcut (correct, just denser).
+WITNESS_SETTLE_LIMIT = 500
+
+#: Witness paths longer than this many hops are not searched for.
+WITNESS_HOP_LIMIT = 16
+
+#: Candidate filter of the canonical walk: hierarchy-space label sums are
+#: compared with this *relative* slack before the exact unpacked label is
+#: computed.  Purely a performance filter — equality is always decided on
+#: the exact left-to-right floats — but it must comfortably exceed the few
+#: ulps of drift a handful of float additions can introduce.
+_LABEL_FILTER_RTOL = 1e-9
+
+_NO_MIDDLE = -1
+
+
+def _build_base_graph(
+    network: RoadNetwork,
+) -> Tuple[Dict[int, Dict[int, float]], Dict[int, Dict[int, float]]]:
+    """Adjacency of the min-parallel-weight simple digraph.
+
+    Parallel segments collapse to their cheapest weight — the same
+    discipline as ``_min_in_edges`` and ``cheapest_segment_between``, so
+    unpacked hierarchy paths re-accumulate to the seed floats.
+    """
+    out_adj: Dict[int, Dict[int, float]] = {n.node_id: {} for n in network.nodes()}
+    in_adj: Dict[int, Dict[int, float]] = {n.node_id: {} for n in network.nodes()}
+    for seg in network.segments():
+        w = seg.length
+        if w < out_adj[seg.start].get(seg.end, math.inf):
+            out_adj[seg.start][seg.end] = w
+            in_adj[seg.end][seg.start] = w
+    return out_adj, in_adj
+
+
+def _witness_search(
+    out_adj: Dict[int, Dict[int, float]],
+    source: int,
+    targets: Iterable[int],
+    excluded: int,
+    cutoff: float,
+    settle_limit: int,
+    hop_limit: int,
+) -> Dict[int, float]:
+    """Bounded Dijkstra from ``source`` avoiding ``excluded``.
+
+    Returns the distances of the targets it managed to settle within the
+    limits; callers treat an absent target as "no witness found" and
+    insert the shortcut, which is always safe.
+    """
+    dist: Dict[int, float] = {source: 0.0}
+    hops: Dict[int, int] = {source: 0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled: set = set()
+    remaining = set(targets)
+    found: Dict[int, float] = {}
+    budget = settle_limit
+    while heap and remaining and budget > 0:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if d > cutoff:
+            break
+        settled.add(u)
+        budget -= 1
+        if u in remaining:
+            found[u] = d
+            remaining.discard(u)
+            if not remaining:
+                break
+        hu = hops[u]
+        if hu >= hop_limit:
+            continue
+        for v, w in out_adj[u].items():
+            if v == excluded:
+                continue
+            nd = d + w
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                hops[v] = hu + 1
+                heapq.heappush(heap, (nd, v))
+    return found
+
+
+class ContractionHierarchy:
+    """A contracted road network: node ranks, shortcut edges, buckets.
+
+    Built offline by :meth:`build` (or reloaded from the ``repro-ch-v1``
+    persistence, see :mod:`repro.roadnet.io`); immutable afterwards apart
+    from the lazily filled per-node bucket cache, which
+    :meth:`prepare_for_fork` completes so forked batch workers share it
+    copy-on-write.
+
+    The stored state is just ``rank`` (contraction order per node) and
+    ``edges`` (``(u, v) -> (weight, middle)``, middle ``-1`` for original
+    edges); the upward/downward adjacency is derived.
+    """
+
+    def __init__(
+        self, rank: Dict[int, int], edges: Dict[Tuple[int, int], Tuple[float, int]]
+    ) -> None:
+        self._rank = dict(rank)
+        self._edges = dict(edges)
+        up: Dict[int, List[Tuple[int, float]]] = {}
+        down_in: Dict[int, List[Tuple[int, float]]] = {}
+        for (a, b), (w, __) in self._edges.items():
+            if self._rank[b] > self._rank[a]:
+                up.setdefault(a, []).append((b, w))
+            else:
+                down_in.setdefault(b, []).append((a, w))
+        # Ascending neighbour id: the canonical, reproducible scan order.
+        self._up: Dict[int, Tuple[Tuple[int, float], ...]] = {
+            u: tuple(sorted(vs)) for u, vs in up.items()
+        }
+        self._down_in: Dict[int, Tuple[Tuple[int, float], ...]] = {
+            v: tuple(sorted(us)) for v, us in down_in.items()
+        }
+        # node -> {peak: (distance, parent-toward-node)} — the backward
+        # upward search space, i.e. the many-to-many bucket entries.
+        self._buckets: Dict[int, Dict[int, Tuple[float, int]]] = {}
+        self.bucket_builds = 0
+        self.bucket_settled = 0
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        witness_settle_limit: int = WITNESS_SETTLE_LIMIT,
+        witness_hop_limit: int = WITNESS_HOP_LIMIT,
+    ) -> "ContractionHierarchy":
+        """Contract every node in edge-difference order.
+
+        The priority queue holds ``(edge_difference, node_id)`` pairs, so
+        ties break towards the smaller node id; priorities are lazily
+        re-evaluated on pop (contracting neighbours changes them) and the
+        node is re-queued when it no longer wins.  Deterministic: building
+        twice yields the identical hierarchy.
+        """
+        out_adj, in_adj = _build_base_graph(network)
+        edges: Dict[Tuple[int, int], Tuple[float, int]] = {}
+        for u, nbrs in out_adj.items():
+            for v, w in nbrs.items():
+                edges[(u, v)] = (w, _NO_MIDDLE)
+
+        def shortcuts_for(v: int) -> List[Tuple[int, int, float]]:
+            ins = sorted((u, w) for u, w in in_adj[v].items() if u != v)
+            outs = sorted((w_node, w) for w_node, w in out_adj[v].items() if w_node != v)
+            needed: List[Tuple[int, int, float]] = []
+            for u, w_uv in ins:
+                cutoffs = {t: w_uv + w_vt for t, w_vt in outs if t != u}
+                if not cutoffs:
+                    continue
+                found = _witness_search(
+                    out_adj,
+                    u,
+                    cutoffs,
+                    v,
+                    max(cutoffs.values()),
+                    witness_settle_limit,
+                    witness_hop_limit,
+                )
+                for t, sw in cutoffs.items():
+                    d = found.get(t)
+                    if d is not None and d <= sw:
+                        continue  # a witness path avoids v
+                    needed.append((u, t, sw))
+            return needed
+
+        def priority(v: int) -> int:
+            removed = len(in_adj[v]) + len(out_adj[v])
+            return len(shortcuts_for(v)) - removed
+
+        heap: List[Tuple[int, int]] = [
+            (priority(v), v) for v in sorted(out_adj)
+        ]
+        heapq.heapify(heap)
+        rank: Dict[int, int] = {}
+        while heap:
+            __, v = heapq.heappop(heap)
+            if v in rank:
+                continue
+            entry = (priority(v), v)  # lazy update: neighbours may have changed
+            if heap and entry > heap[0]:
+                heapq.heappush(heap, entry)
+                continue
+            for u, t, sw in shortcuts_for(v):
+                if sw < out_adj[u].get(t, math.inf):
+                    out_adj[u][t] = sw
+                    in_adj[t][u] = sw
+                    edges[(u, t)] = (sw, v)
+            for u in in_adj.pop(v):
+                if u != v:
+                    out_adj[u].pop(v, None)
+            for t in out_adj.pop(v):
+                if t != v:
+                    in_adj[t].pop(v, None)
+            rank[v] = len(rank)
+        return cls(rank, edges)
+
+    # ---------------------------------------------------------- inspection
+
+    @property
+    def rank(self) -> Dict[int, int]:
+        """Contraction order per node (higher = more important)."""
+        return self._rank
+
+    @property
+    def edges(self) -> Dict[Tuple[int, int], Tuple[float, int]]:
+        """``(u, v) -> (weight, middle)``; middle is -1 for original edges."""
+        return self._edges
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._rank)
+
+    @property
+    def num_shortcuts(self) -> int:
+        return sum(1 for __, mid in self._edges.values() if mid != _NO_MIDDLE)
+
+    def matches(self, network: RoadNetwork) -> bool:
+        """Cheap structural check that this hierarchy covers ``network``."""
+        return set(self._rank) == {n.node_id for n in network.nodes()}
+
+    # ------------------------------------------------------------ searches
+
+    def forward_space(
+        self,
+        source: int,
+        max_distance: float = math.inf,
+        stats: Optional[SearchStats] = None,
+    ) -> Tuple[Dict[int, float], Dict[int, int]]:
+        """The forward upward search space of ``source``.
+
+        Upward Dijkstra with stall-on-demand (strict ``<`` test against
+        the opposite-direction adjacency, so nodes whose upward label is
+        already optimal — in particular every query's peak — are never
+        pruned).  Stalled nodes keep their label in the returned dict
+        (harmless for joins: every label is a real path length) but are
+        not relaxed.
+
+        Returns ``(dist, parent)``; ``parent`` maps each reached node to
+        its predecessor on the upward tree path from ``source``.
+        """
+        return self._upward_search(
+            source, self._up, self._down_in, max_distance, stats
+        )
+
+    def pruned_forward_space(
+        self,
+        source: int,
+        bucket: Dict[int, Tuple[float, int]],
+        max_distance: float = math.inf,
+        stats: Optional[SearchStats] = None,
+    ) -> Tuple[Dict[int, float], Dict[int, int]]:
+        """Forward upward space pruned by one target's bucket.
+
+        Identical labels and parents to :meth:`forward_space` for every
+        node it settles, but the search joins each settled node against
+        ``bucket`` as it goes and stops once the queue minimum *strictly*
+        exceeds the best join found — the standard CH stopping criterion.
+        Because the stop test is strict and bucket distances are
+        non-negative, every node whose upward distance is ``<=`` the
+        final best join is still settled, so the join minimum, its
+        min-peak-id tie-break, and the labels of every node on a
+        canonical shortest path are exactly those of the unpruned space.
+        """
+        return self._upward_search(
+            source, self._up, self._down_in, max_distance, stats, bucket
+        )
+
+    def bucket(self, target: int) -> Dict[int, Tuple[float, int]]:
+        """The backward upward space of ``target`` — its bucket entries.
+
+        Maps each node ``v`` that can reach ``target`` descending from a
+        peak to ``(distance v->target, parent)`` where ``parent`` is the
+        next hierarchy node towards ``target``.  Built once per node and
+        cached: bucket work is preprocessing (a pure function of the
+        hierarchy, tallied in ``bucket_settled``), never query work.
+        """
+        entries = self._buckets.get(target)
+        if entries is None:
+            dist, parent = self._upward_search(
+                target, self._down_in, self._up, math.inf, None
+            )
+            entries = {v: (d, parent.get(v, target)) for v, d in dist.items()}
+            self._buckets[target] = entries
+            self.bucket_builds += 1
+            self.bucket_settled += len(entries)
+        return entries
+
+    def cached_bucket(self, target: int) -> Optional[Dict[int, Tuple[float, int]]]:
+        """``target``'s bucket if already built, else ``None`` (no build)."""
+        return self._buckets.get(target)
+
+    def _upward_search(
+        self,
+        source: int,
+        adj: Dict[int, Tuple[Tuple[int, float], ...]],
+        stall_adj: Dict[int, Tuple[Tuple[int, float], ...]],
+        max_distance: float,
+        stats: Optional[SearchStats],
+        bucket: Optional[Dict[int, Tuple[float, int]]] = None,
+    ) -> Tuple[Dict[int, float], Dict[int, int]]:
+        # This is the innermost loop of every hierarchy operation (rows,
+        # buckets, queries), so the dict/heap methods are bound to locals.
+        dist: Dict[int, float] = {source: 0.0}
+        parent: Dict[int, int] = {}
+        settled: Dict[int, float] = {}
+        best_join = math.inf
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        pop = heapq.heappop
+        push = heapq.heappush
+        dist_get = dist.get
+        adj_get = adj.get
+        stall_get = stall_adj.get
+        bucket_get = None if bucket is None else bucket.get
+        inf = math.inf
+        empty: Tuple[Tuple[int, float], ...] = ()
+        while heap:
+            d, u = pop(heap)
+            if u in settled:
+                continue
+            if d > max_distance or d > best_join:
+                break
+            settled[u] = d
+            if bucket_get is not None:
+                # Stalled labels join too (they are real path lengths and
+                # the unpruned space keeps them), so update before the
+                # stall check.
+                entry = bucket_get(u)
+                if entry is not None and d + entry[0] < best_join:
+                    best_join = d + entry[0]
+            stalled = False
+            for w, weight in stall_get(u, empty):
+                dw = dist_get(w)
+                if dw is not None and dw + weight < d:
+                    stalled = True
+                    break
+            if stalled:
+                # A stalled pop is counted in ``stalls`` only: the label
+                # is disproved (a shorter path reaches u through a higher
+                # node) and the node's edges are never relaxed, so it is
+                # not settled work — just one heap pop and a comparison.
+                if stats is not None:
+                    stats.stalls += 1
+                continue
+            if stats is not None:
+                stats.settled += 1
+            for v, weight in adj_get(u, empty):
+                nd = d + weight
+                if nd < dist_get(v, inf):
+                    dist[v] = nd
+                    parent[v] = u
+                    push(heap, (nd, v))
+        return settled, parent
+
+    # ----------------------------------------------------------- unpacking
+
+    def unpack_edge(self, a: int, b: int, out: List[int]) -> None:
+        """Append the original node chain of hierarchy edge ``a -> b``
+        (excluding ``a`` itself) to ``out``, recursing through middles."""
+        stack = [(a, b)]
+        while stack:
+            x, y = stack.pop()
+            mid = self._edges[(x, y)][1]
+            if mid == _NO_MIDDLE:
+                out.append(y)
+            else:
+                stack.append((mid, y))
+                stack.append((x, mid))
+
+    def unpack_join(
+        self,
+        source: int,
+        peak: int,
+        target: int,
+        forward_parent: Dict[int, int],
+        bucket: Dict[int, Tuple[float, int]],
+    ) -> List[int]:
+        """The original node path ``source -> peak -> target`` of one join.
+
+        The up half follows ``forward_parent`` back from ``peak``, the
+        down half follows the bucket's parents towards ``target``; every
+        hierarchy edge on the way is unpacked to original edges.
+        """
+        chain = [peak]
+        while chain[-1] != source:
+            chain.append(forward_parent[chain[-1]])
+        chain.reverse()
+        x = peak
+        while x != target:
+            x = bucket[x][1]
+            chain.append(x)
+        path = [source]
+        for a, b in zip(chain, chain[1:]):
+            self.unpack_edge(a, b, path)
+        return path
+
+    def unpack_join_tree(
+        self,
+        source: int,
+        peak: int,
+        target: int,
+        forward_parent: Dict[int, int],
+        backward_parent: Dict[int, int],
+    ) -> List[int]:
+        """Like :meth:`unpack_join` with a backward search tree's parents.
+
+        The down half follows ``backward_parent`` (each node's
+        predecessor in the backward upward search rooted at ``target``,
+        i.e. the next hierarchy node towards it) instead of bucket
+        entries — the identical chain, since bucket parents are built
+        from the same search.
+        """
+        chain = [peak]
+        while chain[-1] != source:
+            chain.append(forward_parent[chain[-1]])
+        chain.reverse()
+        x = peak
+        while x != target:
+            x = backward_parent[x]
+            chain.append(x)
+        path = [source]
+        for a, b in zip(chain, chain[1:]):
+            self.unpack_edge(a, b, path)
+        return path
+
+    # ----------------------------------------------------------- lifecycle
+
+    def prepare_for_fork(self) -> None:
+        """Complete the bucket cache before a batch pool forks.
+
+        Buckets are a pure function of the hierarchy; filling the cache
+        now lets every forked worker share the entries copy-on-write
+        instead of each rebuilding the ones it touches.
+        """
+        for node in self._rank:
+            self.bucket(node)
+
+
+# --------------------------------------------------------------- queries
+
+
+def _reaccumulate(network: RoadNetwork, path: Sequence[int]) -> float:
+    """Left-to-right float sum along a node path — the seed's exact float."""
+    d = 0.0
+    for u, v in zip(path, path[1:]):
+        sid = network.cheapest_segment_between(u, v)
+        d += network.segment(sid).length
+    return d
+
+
+class _ExactLabels:
+    """Per-query exact distance labels ``d(source, u)``.
+
+    Joins the query's one forward upward space with each node's cached
+    bucket, then *unpacks* the best join and re-accumulates its original
+    edges left-to-right — so the label is the float the unidirectional
+    search computes, not the hierarchy-space sum.  ``approx`` exposes the
+    raw join sum for the walk's cheap candidate filter.
+    """
+
+    __slots__ = (
+        "_hierarchy",
+        "_network",
+        "_source",
+        "_dist_f",
+        "_parent_f",
+        "_joins",
+        "_exact",
+    )
+
+    def __init__(
+        self,
+        hierarchy: ContractionHierarchy,
+        network: RoadNetwork,
+        source: int,
+        dist_f: Dict[int, float],
+        parent_f: Dict[int, int],
+    ) -> None:
+        self._hierarchy = hierarchy
+        self._network = network
+        self._source = source
+        self._dist_f = dist_f
+        self._parent_f = parent_f
+        self._joins: Dict[int, Tuple[float, int]] = {}
+        self._exact: Dict[int, float] = {}
+
+    def _join(self, u: int) -> Tuple[float, int]:
+        """Best ``(hierarchy-space distance, peak)`` join towards ``u``."""
+        cached = self._joins.get(u)
+        if cached is not None:
+            return cached
+        dist_f = self._dist_f
+        best = math.inf
+        best_peak = -1
+        for v, (db, __) in self._hierarchy.bucket(u).items():
+            df = dist_f.get(v)
+            if df is None:
+                continue
+            j = df + db
+            if j < best or (j == best and v < best_peak):
+                best = j
+                best_peak = v
+        result = (best, best_peak)
+        self._joins[u] = result
+        return result
+
+    def approx(self, u: int) -> float:
+        """The raw join sum — drifts from the exact label by ulps at most."""
+        return self._join(u)[0]
+
+    def exact(self, u: int) -> float:
+        """Left-to-right float distance along the best join, unpacked."""
+        cached = self._exact.get(u)
+        if cached is not None:
+            return cached
+        best, best_peak = self._join(u)
+        if math.isinf(best):
+            d = math.inf
+        else:
+            path = self._hierarchy.unpack_join(
+                self._source, best_peak, u, self._parent_f, self._hierarchy.bucket(u)
+            )
+            d = _reaccumulate(self._network, path)
+        self._exact[u] = d
+        return d
+
+
+def _canonical_ch_path(
+    network: RoadNetwork, source: int, target: int, labels: _ExactLabels
+) -> Optional[List[int]]:
+    """Reconstruct the canonical min-id predecessor chain from CH labels.
+
+    The same backward depth-first walk as ``_canonical_bidi_path``, but
+    every candidate is validated through one label form: the exact
+    left-to-right float ``d(source, u)`` (see :class:`_ExactLabels`).
+    Because a settled Dijkstra label satisfies ``g(prev) + w == g(v)``
+    *as floats*, and the exact labels reproduce those g-values whenever
+    shortest paths are unique or tie sums are exact, the accepted chain
+    is precisely the chain ``dijkstra`` reconstructs.  The cheap
+    hierarchy-space filter only skips candidates that are provably off
+    by far more than float drift; equality is always decided on the
+    exact labels.
+
+    Returns None when no branch closes (adversarial round-off only);
+    callers fall back to the unidirectional search.
+    """
+    path = [target]
+    on_path = {target}
+    iters = [iter(_min_in_edges(network, target))]
+    while iters:
+        v = path[-1]
+        lv = labels.exact(v)
+        advanced = False
+        for u, w in iters[-1]:
+            if u in on_path:
+                continue
+            ja = labels.approx(u)
+            if math.isinf(ja):
+                continue
+            if abs(ja + w - lv) > _LABEL_FILTER_RTOL * (abs(lv) + 1.0):
+                continue
+            if labels.exact(u) + w != lv:
+                continue
+            if u == source:
+                path.append(u)
+                path.reverse()
+                return path
+            path.append(u)
+            on_path.add(u)
+            iters.append(iter(_min_in_edges(network, u)))
+            advanced = True
+            break
+        if not advanced:
+            iters.pop()
+            on_path.discard(path.pop())
+    return None
+
+
+def ch_shortest_path(
+    network: RoadNetwork,
+    hierarchy: ContractionHierarchy,
+    source: int,
+    target: int,
+    max_distance: float = math.inf,
+    landmarks: Optional[LandmarkIndex] = None,
+    stats: Optional[SearchStats] = None,
+) -> Tuple[float, List[int]]:
+    """Hierarchy shortest path with the canonical tie-break.
+
+    One stall-on-demand forward upward search from ``source`` joined
+    against ``target``'s cached bucket gives the distance; the canonical
+    min-id node path is then reconstructed by the exact-label walk, and
+    the returned distance is re-accumulated left-to-right along it — the
+    identical ``(distance, node_path)`` of
+    :func:`~repro.roadnet.shortest_path.dijkstra`.
+
+    The forward search is pruned by the target's bucket (see
+    :meth:`ContractionHierarchy.pruned_forward_space`): it stops once the
+    queue minimum strictly exceeds the best join found, which settles
+    every node the join minimum, the peak tie-break, or the canonical
+    walk can consult — so the pruning changes how much is searched, never
+    the result.
+
+    As with ``bidi_astar``, ``max_distance`` bounds the *returned*
+    distance: pairs farther apart yield ``(inf, [])``, matching the
+    membership semantics of ``dijkstra_all`` tables.
+
+    Returns:
+        ``(distance, node_path)``; ``(inf, [])`` when unreachable or
+        beyond ``max_distance``.
+    """
+    if source == target:
+        return 0.0, [source]
+    if stats is not None:
+        stats.searches += 1
+    dist_f, parent_f = hierarchy.pruned_forward_space(
+        source, hierarchy.bucket(target), max_distance, stats
+    )
+    labels = _ExactLabels(hierarchy, network, source, dist_f, parent_f)
+    d = labels.exact(target)
+    if math.isinf(d) or d > max_distance:
+        return math.inf, []
+    path = _canonical_ch_path(network, source, target, labels)
+    if path is None:
+        # Float round-off defeated the label stitching (possible only on
+        # adversarially-tied weights): fall back to the unidirectional
+        # search, which is always canonical.
+        return _search(
+            network,
+            source,
+            target,
+            combined_heuristic(network, target, landmarks),
+            math.inf,
+            stats,
+        )
+    return _reaccumulate(network, path), path
+
+
+def ch_shortest_route_between_nodes(
+    network: RoadNetwork,
+    hierarchy: ContractionHierarchy,
+    source: int,
+    target: int,
+    landmarks: Optional[LandmarkIndex] = None,
+    stats: Optional[SearchStats] = None,
+) -> Tuple[float, Route]:
+    """Hierarchy counterpart of ``shortest_route_between_nodes``."""
+    d, node_path = ch_shortest_path(
+        network, hierarchy, source, target, landmarks=landmarks, stats=stats
+    )
+    if math.isinf(d):
+        return math.inf, Route.empty()
+    return d, node_path_to_route(network, node_path)
+
+
+def ch_shortest_route_between_segments(
+    network: RoadNetwork,
+    hierarchy: ContractionHierarchy,
+    from_segment: int,
+    to_segment: int,
+    landmarks: Optional[LandmarkIndex] = None,
+    stats: Optional[SearchStats] = None,
+) -> Tuple[float, Route]:
+    """Hierarchy counterpart of ``shortest_route_between_segments``.
+
+    Same shape and semantics: the distance is the gap between the two
+    segments, the route includes both endpoints, and results are
+    identical to the A*/bidirectional tiers.
+    """
+    if from_segment == to_segment:
+        return 0.0, Route.of([from_segment])
+    a = network.segment(from_segment)
+    b = network.segment(to_segment)
+    if a.end == b.start:
+        return 0.0, Route.of([from_segment, to_segment])
+    d, node_path = ch_shortest_path(
+        network, hierarchy, a.end, b.start, landmarks=landmarks, stats=stats
+    )
+    if math.isinf(d):
+        return math.inf, Route.empty()
+    bridge = node_path_to_route(network, node_path)
+    return d, Route.of([from_segment, *bridge.segment_ids, to_segment])
+
+
+# ------------------------------------------------------- many-to-many
+
+
+class _CHRow:
+    """One root's resumable upward search (either direction of a join).
+
+    Mirrors the table oracle's ``_Row`` discipline: the upward search is
+    not run to completion when the row is created — each served pair
+    advances it just far enough (until the frontier minimum strictly
+    exceeds that pair's best join), and the settled prefix persists for
+    the next pair.  Forward rows are rooted at a source and additionally
+    carry the served-distance ``table`` and ``done`` set; backward rows
+    are rooted at a target and searched in the reversed upward graph.
+    ``settled`` holds the popped labels joins may read (stalled ones
+    included, as in the full space); ``dist`` holds tentative labels;
+    ``heap`` is the pending frontier, sealed to a tuple by
+    ``prepare_for_fork``.
+    """
+
+    __slots__ = ("source", "dist", "settled", "parent", "heap", "table", "done")
+
+    def __init__(self, source: int) -> None:
+        self.source = source
+        self.dist: Dict[int, float] = {source: 0.0}
+        self.settled: Dict[int, float] = {}
+        self.parent: Dict[int, int] = {}
+        self.heap: Union[
+            List[Tuple[float, int]], Tuple[Tuple[float, int], ...]
+        ] = [(0.0, source)]
+        self.table: Dict[int, float] = {}
+        self.done: set = set()
+
+
+class _CHRowView:
+    """Read view of one row with lazy coverage (mirrors ``_RowView``).
+
+    ``get`` for a target the row has not served yet computes it via a
+    bucket join first, so reads are always exact — absent means
+    *unreachable within the bound*, never *not asked yet*.
+    """
+
+    __slots__ = ("_oracle", "_row")
+
+    def __init__(self, oracle: "CHBucketOracle", row: _CHRow) -> None:
+        self._oracle = oracle
+        self._row = row
+
+    def get(self, target: int, default=None):
+        row = self._row
+        d = row.table.get(target)
+        if d is not None:
+            return d
+        if target not in row.done:
+            self._oracle._serve(row, target)
+            d = row.table.get(target)
+            if d is not None:
+                return d
+        return default
+
+    def __contains__(self, target: int) -> bool:
+        return self.get(target) is not None
+
+    def __getitem__(self, target: int) -> float:
+        d = self.get(target)
+        if d is None:
+            raise KeyError(target)
+        return d
+
+
+class CHBucketOracle:
+    """Bucket-based many-to-many distance tables over a hierarchy.
+
+    Drop-in for :class:`~repro.roadnet.table_oracle.DistanceTableOracle`:
+    same ``prepare`` / ``table`` / ``distance`` /
+    ``route_distance_between_projections`` surface, same LRU row ``stats``
+    and fork sealing, and bit-identical distances.  Both sides of every
+    join are *resumable upward* searches (the table oracle's lazy-row
+    discipline applied twice): a forward row per source, a backward row
+    per target, each advanced bidirectionally only until both frontiers
+    clear the pair's best join.  Work therefore scales with how far
+    apart the served pairs actually are — the locality the matcher's
+    consecutive-point tables live off — instead of each target paying
+    its complete backward space up front; each served distance is
+    unpacked and re-accumulated left-to-right, so it is the exact
+    ``dijkstra_all`` float.
+
+    Args:
+        network: The road network.
+        hierarchy: The contraction hierarchy to query.
+        max_distance: Search bound; pairs farther apart read as ``inf``.
+        max_rows: Source rows held (None: unbounded).
+        landmarks: Optional ALT index accelerating the single-pair
+            fallback's canonical-walk fallback.
+        search_stats: Optional counters charged by stray-pair fallbacks.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        hierarchy: ContractionHierarchy,
+        max_distance: float = math.inf,
+        max_rows: Optional[int] = 2048,
+        landmarks: Optional[LandmarkIndex] = None,
+        search_stats: Optional[SearchStats] = None,
+    ) -> None:
+        self._network = network
+        self._hierarchy = hierarchy
+        self._max_distance = max_distance
+        self._rows: "LRUCache[int, _CHRow]" = LRUCache(max_rows)
+        # Backward rows, keyed by target.  Resumable like the forward
+        # rows: a target pays backward pops only as far as its joins
+        # need, not its whole backward upward space.
+        self._back_rows: "LRUCache[int, _CHRow]" = LRUCache(max_rows)
+        self._landmarks = landmarks
+        self._search_stats = search_stats
+        self.settled_nodes = 0
+        self.sweeps = 0
+        self.stalls = 0
+        self.fallbacks = 0
+
+    @property
+    def stats(self):
+        """Hit/miss/eviction counters of the row cache."""
+        return self._rows.stats
+
+    # ------------------------------------------------------------- batching
+
+    def prepare(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> Dict[int, Dict[int, float]]:
+        """Cover the ``sources x targets`` frontier product.
+
+        One resumable upward search per new source (and per new target,
+        backward), one bidirectional join — advancing both rows as far as
+        that join needs — per uncovered ``(source, target)`` pair.  As
+        with the table oracle,
+        the returned mappings are authoritative *for the announced
+        targets only* — an absent announced target is unreachable within
+        the bound; never-announced targets are simply not in the dict yet
+        (use :meth:`table` or :meth:`distance` for those).
+        """
+        wanted = tuple(dict.fromkeys(targets))
+        tables: Dict[int, Dict[int, float]] = {}
+        for source in dict.fromkeys(sources):
+            row = self._row(source)
+            for target in wanted:
+                if target not in row.done:
+                    self._serve(row, target)
+            tables[source] = row.table
+        return tables
+
+    def table(self, source: int) -> _CHRowView:
+        """The (lazily covered) distance table from ``source``."""
+        return _CHRowView(self, self._row(source))
+
+    def distance(self, source: int, target: int) -> float:
+        """Network distance from ``source`` to ``target``.
+
+        Served from the source's row when one exists; a stray pair with
+        no row falls back to one point-to-point hierarchy query instead
+        of building (and possibly evicting) a row for it.
+
+        Returns ``inf`` when the target is unreachable within the bound.
+        """
+        row = self._rows.get(source)
+        if row is not None:
+            d = row.table.get(target)
+            if d is not None:
+                return d
+            if target not in row.done:
+                self._serve(row, target)
+                d = row.table.get(target)
+                if d is not None:
+                    return d
+            return math.inf
+        self.fallbacks += 1
+        d, __ = ch_shortest_path(
+            self._network,
+            self._hierarchy,
+            source,
+            target,
+            max_distance=self._max_distance,
+            landmarks=self._landmarks,
+            stats=self._search_stats,
+        )
+        return d
+
+    def route_distance_between_projections(
+        self,
+        from_segment: int,
+        from_offset: float,
+        to_segment: int,
+        to_offset: float,
+    ) -> float:
+        """Travel distance between two on-segment positions.
+
+        Mirrors ``DistanceOracle.route_distance_between_projections``
+        exactly (same arithmetic, same same-segment shortcut).
+        """
+        net = self._network
+        if from_segment == to_segment and to_offset >= from_offset:
+            return to_offset - from_offset
+        seg_a = net.segment(from_segment)
+        seg_b = net.segment(to_segment)
+        tail = seg_a.length - from_offset
+        via = self.distance(seg_a.end, seg_b.start)
+        if math.isinf(via):
+            return math.inf
+        return tail + via + to_offset
+
+    # ------------------------------------------------------------ internals
+
+    def _row(self, source: int) -> _CHRow:
+        row = self._rows.get(source)
+        if row is None:
+            row = _CHRow(source)
+            self.sweeps += 1
+            self._rows.put(source, row)
+        return row
+
+    def _back(self, target: int) -> _CHRow:
+        """The resumable backward row rooted at ``target``.
+
+        An unbounded oracle adopts the hierarchy's cached bucket when one
+        exists (after ``prepare_for_fork`` warming, every target's
+        complete backward space is already built, so the row starts
+        exhausted and serves with zero backward pops).
+        """
+        row = self._back_rows.get(target)
+        if row is None:
+            row = _CHRow(target)
+            if math.isinf(self._max_distance):
+                entries = self._hierarchy.cached_bucket(target)
+                if entries is not None:
+                    row.settled = {v: d for v, (d, __) in entries.items()}
+                    row.dist = row.settled  # heap is empty; never relaxed
+                    row.parent = {
+                        v: p for v, (__, p) in entries.items() if v != target
+                    }
+                    row.heap = []
+            self._back_rows.put(target, row)
+        return row
+
+    def _serve(self, row: _CHRow, target: int) -> None:
+        """Join the row's forward space with ``target``'s backward space.
+
+        Scans the joins both rows already know, then advances the two
+        resumable searches bidirectionally until both frontiers strictly
+        clear the best join — the pruned point-to-point stop rule,
+        monotone across pairs on both sides, so the settled prefixes
+        always contain every node the join minimum or its min-peak-id
+        tie-break could consult.  Stores the exact re-accumulated
+        distance when the pair is within the bound; otherwise just marks
+        the target as covered (absent = unreachable within the bound, the
+        ``dijkstra_all`` membership rule).
+        """
+        row.done.add(target)
+        brow = self._back(target)
+        fs = row.settled
+        bs = brow.settled
+        best = math.inf
+        best_peak = -1
+        small, large = (fs, bs) if len(fs) <= len(bs) else (bs, fs)
+        large_get = large.get
+        for v, da in small.items():
+            db = large_get(v)
+            if db is None:
+                continue
+            j = da + db
+            if j < best or (j == best and v < best_peak):
+                best = j
+                best_peak = v
+        best, best_peak = self._advance(row, brow, best, best_peak)
+        if math.isinf(best):
+            return
+        path = self._hierarchy.unpack_join_tree(
+            row.source, best_peak, target, row.parent, brow.parent
+        )
+        d = _reaccumulate(self._network, path)
+        if d <= self._max_distance:
+            row.table[target] = d
+
+    def _advance(
+        self,
+        frow: _CHRow,
+        brow: _CHRow,
+        best: float,
+        best_peak: int,
+    ) -> Tuple[float, int]:
+        """Advance both rows until their frontiers clear ``best``.
+
+        Bidirectional upward Dijkstra over the two resumable rows — the
+        same labels, strict-``<`` stall rule and stalled/settled
+        accounting split as ``ContractionHierarchy._upward_search`` —
+        popping the smaller frontier minimum first and stopping once both
+        minima strictly exceed ``min(best, bound)``.  Ties at ``best``
+        are still popped on both sides, so the min-peak-id tie-break sees
+        every candidate; a node settles into a join the moment its second
+        side pops it.
+        """
+        bound = self._max_distance
+        inf = math.inf
+        limit = best if best < bound else bound
+        fheap = frow.heap
+        bheap = brow.heap
+        # Most serves find their join already covered by the settled
+        # prefixes; peek (tuples peek fine when sealed) before paying the
+        # local bindings below.
+        if (fheap[0][0] if fheap else inf) > limit and (
+            bheap[0][0] if bheap else inf
+        ) > limit:
+            return best, best_peak
+        if isinstance(fheap, tuple):  # sealed by prepare_for_fork
+            frow.heap = fheap = list(fheap)
+        if isinstance(bheap, tuple):
+            brow.heap = bheap = list(bheap)
+        up_get = self._hierarchy._up.get
+        down_get = self._hierarchy._down_in.get
+        pop = heapq.heappop
+        push = heapq.heappush
+        empty: Tuple[Tuple[int, float], ...] = ()
+        fsettled = frow.settled
+        bsettled = brow.settled
+        fset_get = fsettled.get
+        bset_get = bsettled.get
+        fdist = frow.dist
+        bdist = brow.dist
+        fdist_get = fdist.get
+        bdist_get = bdist.get
+        fparent = frow.parent
+        bparent = brow.parent
+        while True:
+            moved = False
+            # Forward turns: pop while this side holds the smaller
+            # frontier minimum (ties go forward) and it is within limit.
+            while fheap:
+                d = fheap[0][0]
+                if d > limit or (bheap and bheap[0][0] < d):
+                    break
+                d, u = pop(fheap)
+                moved = True
+                if u in fsettled:
+                    continue
+                fsettled[u] = d
+                od = bset_get(u)
+                if od is not None:
+                    j = d + od
+                    if j < best or (j == best and u < best_peak):
+                        best = j
+                        best_peak = u
+                        limit = best if best < bound else bound
+                stalled = False
+                for w, weight in down_get(u, empty):
+                    dw = fdist_get(w)
+                    if dw is not None and dw + weight < d:
+                        stalled = True
+                        break
+                if stalled:
+                    self.stalls += 1
+                    continue
+                self.settled_nodes += 1
+                for v, weight in up_get(u, empty):
+                    nd = d + weight
+                    if nd < fdist_get(v, inf):
+                        fdist[v] = nd
+                        fparent[v] = u
+                        push(fheap, (nd, v))
+            # Backward turns, in the reversed upward graph.
+            while bheap:
+                d = bheap[0][0]
+                if d > limit or (fheap and fheap[0][0] <= d):
+                    break
+                d, u = pop(bheap)
+                moved = True
+                if u in bsettled:
+                    continue
+                bsettled[u] = d
+                od = fset_get(u)
+                if od is not None:
+                    j = d + od
+                    if j < best or (j == best and u < best_peak):
+                        best = j
+                        best_peak = u
+                        limit = best if best < bound else bound
+                stalled = False
+                for w, weight in up_get(u, empty):
+                    dw = bdist_get(w)
+                    if dw is not None and dw + weight < d:
+                        stalled = True
+                        break
+                if stalled:
+                    self.stalls += 1
+                    continue
+                self.settled_nodes += 1
+                for v, weight in down_get(u, empty):
+                    nd = d + weight
+                    if nd < bdist_get(v, inf):
+                        bdist[v] = nd
+                        bparent[v] = u
+                        push(bheap, (nd, v))
+            if not moved:
+                break
+        return best, best_peak
+
+    # ------------------------------------------------------------ lifecycle
+
+    def prepare_for_fork(self) -> None:
+        """Seal row frontiers before a batch pool forks.
+
+        Pending heaps of both row caches become tuples (``_advance``
+        copies them back to lists on first post-fork use, so each worker
+        mutates a private copy — the table oracle's sealing discipline).
+        An unbounded oracle also completes the hierarchy's bucket cache:
+        the complete backward spaces are shared copy-on-write and every
+        worker's backward rows start exhausted (see :meth:`_back`).
+        """
+        for cache in (self._rows, self._back_rows):
+            for row in cache.values():
+                if isinstance(row.heap, list):
+                    row.heap = tuple(row.heap)
+        if math.isinf(self._max_distance):
+            self._hierarchy.prepare_for_fork()
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._back_rows.clear()

@@ -555,7 +555,35 @@ class InferenceGateway:
             "max_inflight": self._config.max_inflight,
             "max_queue": self._config.max_queue,
         }
-        return json_response(200, self._metrics.snapshot(gauges))
+        payload = self._metrics.snapshot(gauges)
+        engine = self._engine_stats()
+        if engine is not None:
+            payload["engine"] = engine
+        return json_response(200, payload)
+
+    def _engine_stats(self) -> Optional[Dict[str, float]]:
+        """Routing-engine counters summed across every HRIS-backed worker.
+
+        Each backend of :func:`hris_backends` is a bound ``infer_routes``
+        method, so its ``__self__`` reaches the worker's HRIS and its
+        engine: settled nodes, cache hit/miss/evictions, oracle sweeps and
+        CH stalls land on ``/metrics`` next to the latency percentiles.
+        Backends that are not HRIS-bound (e.g. test stubs) contribute
+        nothing; with no instrumented backend at all the key is omitted.
+        """
+        totals: Optional[Dict[str, float]] = None
+        for backend in self._backends:
+            owner = getattr(backend, "__self__", None)
+            engine = getattr(owner, "engine", None)
+            if engine is None:
+                continue
+            counters = engine.stats().as_dict()
+            if totals is None:
+                totals = dict(counters)
+            else:
+                for key, value in counters.items():
+                    totals[key] = totals.get(key, 0) + value
+        return totals
 
     def _shed_response(self) -> Response:
         retry = str(max(1, math.ceil(self._config.retry_after_s)))

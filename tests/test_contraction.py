@@ -1,0 +1,373 @@
+"""Contraction-hierarchy correctness: distances, canonical paths, buckets.
+
+The CH tier joins the identity-gated routing family: not merely "a
+shortest path" but the *same* path the seed's Dijkstra reconstructs
+(canonical min-id tie-break) with the *same* float distance.  These tests
+pin both on structured grids and on randomly generated networks including
+disconnected pairs and zero-length edges, check the bucket-based
+many-to-many tables against ``dijkstra_all``, and cover the build's
+determinism and the ``repro-ch-v1`` persistence round-trip.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.geo.point import Point
+from repro.roadnet.contraction import (
+    CHBucketOracle,
+    ContractionHierarchy,
+    ch_shortest_path,
+    ch_shortest_route_between_segments,
+)
+from repro.roadnet.generators import GridCityConfig, grid_city, manhattan_line
+from repro.roadnet.io import (
+    contraction_from_dict,
+    contraction_to_dict,
+    load_contraction,
+    save_contraction,
+)
+from repro.roadnet.network import RoadNetwork, RoadNode, RoadSegment
+from repro.roadnet.shortest_path import (
+    LandmarkIndex,
+    SearchStats,
+    bidi_astar,
+    dijkstra,
+    dijkstra_all,
+    shortest_route_between_segments,
+)
+from repro.roadnet.table_oracle import DistanceTableOracle
+
+
+def random_network(seed: int, n: int = 30, extra_edges: int = 50) -> RoadNetwork:
+    """A random directed network: scattered nodes, random directed edges.
+
+    Deliberately *not* strongly connected — plenty of unreachable pairs —
+    and seeded so failures reproduce.
+    """
+    rng = random.Random(seed)
+    nodes = [
+        RoadNode(i, Point(rng.uniform(0, 5_000), rng.uniform(0, 5_000)))
+        for i in range(n)
+    ]
+    net = RoadNetwork()
+    for node in nodes:
+        net.add_node(node)
+    sid = 0
+    seen = set()
+    for __ in range(extra_edges):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b or (a, b) in seen:
+            continue
+        seen.add((a, b))
+        net.add_segment(
+            RoadSegment.build(
+                sid, a, b, [nodes[a].point, nodes[b].point], speed_limit=13.9
+            )
+        )
+        sid += 1
+    return net
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(
+        GridCityConfig(nx=8, ny=8, drop_fraction=0.1, one_way_fraction=0.15),
+        np.random.default_rng(11),
+    )
+
+
+@pytest.fixture(scope="module")
+def city_hierarchy(city):
+    return ContractionHierarchy.build(city)
+
+
+@pytest.fixture(scope="module")
+def city_landmarks(city):
+    return LandmarkIndex.build(city, 6)
+
+
+class TestDistanceIdentity:
+    def test_matches_dijkstra_on_city(self, city, city_hierarchy):
+        rng = np.random.default_rng(5)
+        nodes = [n.node_id for n in city.nodes()]
+        for __ in range(60):
+            a, b = (int(x) for x in rng.choice(nodes, size=2))
+            d_uni, p_uni = dijkstra(city, a, b)
+            d_ch, p_ch = ch_shortest_path(city, city_hierarchy, a, b)
+            assert d_ch == d_uni
+            assert p_ch == p_uni
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_dijkstra_on_random_networks(self, seed):
+        net = random_network(seed)
+        hierarchy = ContractionHierarchy.build(net)
+        node_ids = [n.node_id for n in net.nodes()]
+        rng = random.Random(seed + 100)
+        disconnected = 0
+        for __ in range(40):
+            a, b = rng.choice(node_ids), rng.choice(node_ids)
+            d_uni, p_uni = dijkstra(net, a, b)
+            d_ch, p_ch = ch_shortest_path(net, hierarchy, a, b)
+            if math.isinf(d_uni):
+                disconnected += 1
+                assert math.isinf(d_ch)
+                assert p_ch == []
+            else:
+                assert d_ch == d_uni
+                assert p_ch == p_uni
+        # The generator must actually have produced unreachable pairs,
+        # otherwise this test silently stopped covering them.
+        assert disconnected > 0
+
+    def test_source_equals_target(self, city, city_hierarchy):
+        assert ch_shortest_path(city, city_hierarchy, 3, 3) == (0.0, [3])
+
+    def test_unreachable_isolated_node(self):
+        net = manhattan_line(4)
+        net.add_node(RoadNode(99, Point(0, 9_999)))
+        hierarchy = ContractionHierarchy.build(net)
+        d, path = ch_shortest_path(net, hierarchy, 0, 99)
+        assert math.isinf(d)
+        assert path == []
+
+    def test_bounded_distance_semantics(self, city, city_hierarchy):
+        """``max_distance`` bounds the *returned* distance, like the oracle
+        tables and ``bidi_astar``: reachable-but-far pairs read as inf."""
+        rng = np.random.default_rng(6)
+        nodes = [n.node_id for n in city.nodes()]
+        for __ in range(40):
+            a, b = (int(x) for x in rng.choice(nodes, size=2))
+            d_full, __p = dijkstra(city, a, b)
+            d_bound, p_bound = ch_shortest_path(
+                city, city_hierarchy, a, b, max_distance=1_200.0
+            )
+            if d_full <= 1_200.0:
+                assert d_bound == d_full
+            else:
+                assert math.isinf(d_bound)
+                assert p_bound == []
+
+    def test_segment_routes_match_sequential_tier(self, city, city_hierarchy):
+        rng = np.random.default_rng(9)
+        segments = [s.segment_id for s in city.segments()]
+        for __ in range(40):
+            a, b = (int(x) for x in rng.choice(segments, size=2))
+            d_seq, r_seq = shortest_route_between_segments(city, a, b)
+            d_ch, r_ch = ch_shortest_route_between_segments(
+                city, city_hierarchy, a, b
+            )
+            assert d_ch == d_seq
+            assert r_ch.segment_ids == r_seq.segment_ids
+
+
+class TestCanonicalTieBreak:
+    def test_identical_node_paths_on_tie_heavy_grid(self):
+        """A jitter-free grid is packed with equal-length alternatives; the
+        hierarchy query must still return the unidirectional search's
+        canonical (min-id predecessor) path, node for node."""
+        net = grid_city(
+            GridCityConfig(nx=6, ny=6, jitter=0.0, drop_fraction=0.0),
+            np.random.default_rng(0),
+        )
+        hierarchy = ContractionHierarchy.build(net)
+        nodes = sorted(n.node_id for n in net.nodes())
+        for a in nodes[::5]:
+            for b in nodes[::7]:
+                d_uni, p_uni = dijkstra(net, a, b)
+                d_ch, p_ch = ch_shortest_path(net, hierarchy, a, b)
+                assert p_ch == p_uni
+                assert d_ch == d_uni
+
+    def test_zero_length_edges(self):
+        """Coincident nodes joined by zero-length segments create zero-cost
+        cycles; contraction and the query walk must terminate and stay
+        canonical."""
+        p0, p1 = Point(0, 0), Point(100, 0)
+        net = RoadNetwork()
+        net.add_node(RoadNode(0, p0))
+        net.add_node(RoadNode(1, p0))  # coincident with node 0
+        net.add_node(RoadNode(2, p1))
+        net.add_segment(RoadSegment.build(0, 0, 1, [p0, p0], speed_limit=10.0))
+        net.add_segment(RoadSegment.build(1, 1, 0, [p0, p0], speed_limit=10.0))
+        net.add_segment(RoadSegment.build(2, 1, 2, [p0, p1], speed_limit=10.0))
+        net.add_segment(RoadSegment.build(3, 2, 1, [p1, p0], speed_limit=10.0))
+        hierarchy = ContractionHierarchy.build(net)
+        for a in (0, 1, 2):
+            for b in (0, 1, 2):
+                d_uni, p_uni = dijkstra(net, a, b)
+                d_ch, p_ch = ch_shortest_path(net, hierarchy, a, b)
+                assert d_ch == d_uni
+                assert p_ch == p_uni
+
+    def test_parallel_segments_keep_cheapest(self):
+        """Parallel edges of different lengths: the path must thread the
+        cheapest, exactly as the unidirectional search does."""
+        p0, p1 = Point(0, 0), Point(100, 0)
+        detour = Point(50, 80)
+        net = RoadNetwork()
+        net.add_node(RoadNode(0, p0))
+        net.add_node(RoadNode(1, p1))
+        net.add_segment(RoadSegment.build(0, 0, 1, [p0, detour, p1], speed_limit=10.0))
+        net.add_segment(RoadSegment.build(1, 0, 1, [p0, p1], speed_limit=10.0))
+        hierarchy = ContractionHierarchy.build(net)
+        d_uni, p_uni = dijkstra(net, 0, 1)
+        d_ch, p_ch = ch_shortest_path(net, hierarchy, 0, 1)
+        assert d_ch == d_uni == 100.0
+        assert p_ch == p_uni == [0, 1]
+
+
+class TestBuild:
+    def test_deterministic(self, city):
+        first = ContractionHierarchy.build(city)
+        second = ContractionHierarchy.build(city)
+        assert first.rank == second.rank
+        assert first.edges == second.edges
+
+    def test_shortcut_middles_are_contracted_lower(self, city_hierarchy):
+        """Every shortcut's middle node must rank below both endpoints —
+        that is what contraction means, and unpacking relies on it."""
+        rank = city_hierarchy.rank
+        shortcuts = 0
+        for (a, b), (__, mid) in city_hierarchy.edges.items():
+            if mid == -1:
+                continue
+            shortcuts += 1
+            assert rank[mid] < rank[a]
+            assert rank[mid] < rank[b]
+        assert shortcuts > 0  # an 8x8 city without shortcuts is suspicious
+
+    def test_matches_network(self, city, city_hierarchy):
+        assert city_hierarchy.matches(city)
+        other = manhattan_line(4)
+        assert not city_hierarchy.matches(other)
+
+
+class TestBucketOracle:
+    def test_prepare_matches_dijkstra_all_tables(self, city, city_hierarchy):
+        bound = 1_500.0
+        rng = np.random.default_rng(13)
+        nodes = [n.node_id for n in city.nodes()]
+        sources = [int(x) for x in rng.choice(nodes, size=6)]
+        targets = [int(x) for x in rng.choice(nodes, size=12)]
+        oracle = CHBucketOracle(city, city_hierarchy, max_distance=bound)
+        tables = oracle.prepare(sources, targets)
+        for s in sources:
+            reference = dijkstra_all(city, s, max_distance=bound)
+            for t in targets:
+                assert tables[s].get(t) == reference.get(t)
+
+    def test_matches_table_oracle_surface(self, city, city_hierarchy):
+        """Drop-in check against ``DistanceTableOracle``: same distances
+        through ``prepare``, ``table`` views and projection arithmetic."""
+        bound = 2_000.0
+        rng = np.random.default_rng(17)
+        nodes = [n.node_id for n in city.nodes()]
+        segs = [s.segment_id for s in city.segments()]
+        sources = [int(x) for x in rng.choice(nodes, size=4)]
+        targets = [int(x) for x in rng.choice(nodes, size=8)]
+        table_oracle = DistanceTableOracle(city, max_distance=bound)
+        ch_oracle = CHBucketOracle(city, city_hierarchy, max_distance=bound)
+        expected = table_oracle.prepare(sources, targets)
+        got = ch_oracle.prepare(sources, targets)
+        for s in sources:
+            for t in targets:
+                assert got[s].get(t) == expected[s].get(t)
+        # Lazy row views cover never-announced targets on demand.
+        extra = int(rng.choice(nodes))
+        assert ch_oracle.table(sources[0]).get(extra) == table_oracle.table(
+            sources[0]
+        ).get(extra)
+        for __ in range(20):
+            sa, sb = (int(x) for x in rng.choice(segs, size=2))
+            seg_a = city.segment(sa)
+            seg_b = city.segment(sb)
+            oa = float(rng.uniform(0, seg_a.length))
+            ob = float(rng.uniform(0, seg_b.length))
+            assert ch_oracle.route_distance_between_projections(
+                sa, oa, sb, ob
+            ) == table_oracle.route_distance_between_projections(sa, oa, sb, ob)
+
+    def test_stray_pair_falls_back(self, city, city_hierarchy):
+        oracle = CHBucketOracle(city, city_hierarchy)
+        nodes = sorted(n.node_id for n in city.nodes())
+        d = oracle.distance(nodes[0], nodes[-1])
+        assert d == dijkstra(city, nodes[0], nodes[-1])[0]
+        assert oracle.fallbacks == 1
+        assert oracle.sweeps == 0  # no row was built for the stray pair
+
+    def test_row_accounting_and_clear(self, city, city_hierarchy):
+        oracle = CHBucketOracle(city, city_hierarchy, max_rows=2)
+        nodes = sorted(n.node_id for n in city.nodes())
+        oracle.prepare(nodes[:3], nodes[-2:])  # 3 rows through a 2-row LRU
+        assert oracle.sweeps == 3
+        assert oracle.stats.evictions == 1
+        assert oracle.settled_nodes > 0
+        oracle.clear()
+        oracle.prepare(nodes[:1], nodes[-1:])
+        assert oracle.sweeps == 4
+
+    def test_prepare_for_fork_completes_buckets(self, city):
+        hierarchy = ContractionHierarchy.build(city)
+        oracle = CHBucketOracle(city, hierarchy)
+        oracle.prepare_for_fork()
+        assert hierarchy.bucket_builds == hierarchy.num_nodes
+        builds = hierarchy.bucket_builds
+        oracle.prepare([0], [1])  # joins must reuse the warmed buckets
+        assert hierarchy.bucket_builds == builds
+
+
+class TestStats:
+    def test_settles_fewer_nodes_than_bidi_alt(
+        self, city, city_hierarchy, city_landmarks
+    ):
+        """The point of the exercise: once buckets are warm, a hierarchy
+        query touches only the forward upward space — well under the
+        bidirectional ALT ball."""
+        city_hierarchy.prepare_for_fork()
+        nodes = sorted(n.node_id for n in city.nodes())
+        pairs = [(nodes[0], nodes[-1]), (nodes[2], nodes[-3]), (nodes[5], nodes[-1])]
+        s_bidi, s_ch = SearchStats(), SearchStats()
+        for a, b in pairs:
+            bidi_astar(city, a, b, landmarks=city_landmarks, stats=s_bidi)
+            ch_shortest_path(city, city_hierarchy, a, b, stats=s_ch)
+        assert s_ch.settled < s_bidi.settled
+        assert s_ch.searches == len(pairs)
+
+    def test_stall_counter_moves(self, city, city_hierarchy):
+        """Stall-on-demand must actually fire somewhere on a real city."""
+        stats = SearchStats()
+        for node in sorted(n.node_id for n in city.nodes())[:20]:
+            city_hierarchy.forward_space(node, stats=stats)
+        assert stats.stalls > 0
+        assert stats.settled > 0
+
+
+class TestPersistence:
+    def test_round_trip_dict(self, city, city_hierarchy):
+        clone = contraction_from_dict(contraction_to_dict(city_hierarchy))
+        assert clone.rank == city_hierarchy.rank
+        assert clone.edges == city_hierarchy.edges
+        a, b = 0, city_hierarchy.num_nodes - 1
+        assert ch_shortest_path(city, clone, a, b) == ch_shortest_path(
+            city, city_hierarchy, a, b
+        )
+
+    def test_round_trip_file(self, city, city_hierarchy, tmp_path):
+        path = tmp_path / "contraction.json"
+        save_contraction(city_hierarchy, path)
+        clone = load_contraction(path)
+        assert clone.rank == city_hierarchy.rank
+        assert clone.edges == city_hierarchy.edges
+
+    def test_unknown_format_is_named(self):
+        with pytest.raises(ValueError, match="repro-ch-v999"):
+            contraction_from_dict({"format": "repro-ch-v999", "rank": {}})
+
+    def test_malformed_edge_references(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            contraction_from_dict(
+                {"format": "repro-ch-v1", "rank": {"0": 0}, "edges": [[0, 5, 1.0, -1]]}
+            )

@@ -337,6 +337,43 @@ class TestMetrics:
             assert key in latency
         assert latency["p50"] <= latency["p99"] <= latency["max"]
 
+    def test_engine_counters_for_hris_backends(self, world):
+        """HRIS-backed gateways expose the routing-engine counters —
+        settled nodes, cache hit/miss, oracle sweeps, CH stalls — summed
+        across workers; stub backends (above) omit the key entirely."""
+        scenario, hris, queries, direct = world
+        gateway = InferenceGateway(hris_backends(hris, 2), GatewayConfig())
+        host, port = gateway.start()
+        try:
+            with GatewayClient(host, port) as c:
+                reply = c.infer(queries[0], k=None)
+                assert reply.status == 200
+                payload = c.metrics().payload
+        finally:
+            gateway.stop()
+        assert set(payload) == {"endpoints", "gateway", "engine"}
+        engine = payload["engine"]
+        for key in (
+            "searches",
+            "settled_nodes",
+            "sweeps",
+            "fallback_searches",
+            "ch_stalls",
+            "route_cache_hits",
+            "route_cache_misses",
+            "route_cache_evictions",
+            "candidate_cache_hits",
+            "candidate_cache_misses",
+            "support_cache_hits",
+            "support_cache_misses",
+            "oracle_hits",
+            "oracle_misses",
+        ):
+            assert key in engine
+        # The served query really did route through the engine.
+        assert engine["settled_nodes"] > 0
+        assert engine["candidate_cache_misses"] > 0
+
     def test_percentile_nearest_rank(self):
         values = [float(v) for v in range(1, 101)]
         assert percentile(values, 50.0) == 50.0
