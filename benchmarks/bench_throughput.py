@@ -52,12 +52,20 @@ Measures, on the standard evaluation world:
   of the first post-kill query bounds what a replica death costs;
 * **shard reference** — the same remote fleet with
   ``reference_mode="shard"``: candidate references are assembled by the
-  shards over ``repro-remote-v3`` instead of from the client trip store.
+  shards over ``repro-remote-v4`` instead of from the client trip store.
   Per-query wire bytes are metered and must come in strictly below the
   whole-trip-shipping baseline (near-pair queries plus every candidate
   trajectory shipped whole), and the run is repeated on a replicated
   fleet with one replica killed mid-stream
   (``shard_reference_degraded_vs_seed``);
+* **durable ingest** — the per-shard write-ahead log: ingest throughput
+  and restart (replay) time under each fsync policy (always/interval/
+  off), then the two chaos acceptance scenarios — a shard killed
+  mid-append recovers from its WAL to bit-identical results after an
+  idempotent re-push (``wal_recovery_vs_seed``), and a replica killed,
+  mutated past and restarted is repaired by ``log_since``/``apply_log``
+  replay from its healthy peer before rejoining the read rotation
+  (``replica_catchup_vs_seed``);
 * **query gateway** — the ``repro serve`` HTTP tier over loopback: every
   query is replayed through the wire and must match the seed baseline
   bit for bit (``gateway_vs_seed``), then an open-loop load generator
@@ -529,7 +537,7 @@ def main(argv=None) -> int:
 
     # --- shard-side reference assembly (reference_mode="shard") -----------
     # Same fleet shape as the remote configuration, but the reference
-    # candidates are assembled by the shards (repro-remote-v3) instead of
+    # candidates are assembled by the shards (repro-remote-v4) instead of
     # from the client trip store.  The client-side baseline's wire cost is
     # its near-pair range queries plus what a naive remote trip store
     # would ship: every candidate trajectory, whole, as v3 point rows.
@@ -631,6 +639,177 @@ def main(argv=None) -> int:
         f"failovers={ref_rep_stats['failovers']}, "
         f"{ref_rep_stats['healthy_replicas']}/{ref_rep_stats['total_replicas']} "
         f"replicas healthy"
+    )
+
+    # --- durable ingest: fsync policies, crash recovery, log catch-up -----
+    # Three sub-phases around the per-shard write-ahead log:
+    #   * ingest throughput under each fsync policy, plus the restart
+    #     (replay) time the journal costs;
+    #   * a shard killed mid-append (CrashAfter: request received, no
+    #     reply), restarted from its WAL, idempotently re-pushed — query
+    #     results must match the seed bit for bit (wal_recovery_vs_seed);
+    #   * a replica killed, mutated past, restarted on the same port and
+    #     *repaired* by log_since/apply_log replay from its healthy peer
+    #     before returning to rotation (replica_catchup_vs_seed).
+    import shutil  # noqa: E402
+    import tempfile  # noqa: E402
+
+    from repro.core.chaos import CrashAfter  # noqa: E402
+    from repro.core.remote import (  # noqa: E402
+        RemoteShardedArchive,
+        ShardUnavailableError,
+    )
+
+    wal_root = Path(tempfile.mkdtemp(prefix="repro-wal-bench-"))
+
+    def start_wal_fleet(tag, fsync="always", replication=1):
+        fleet = [
+            ArchiveShardServer(
+                i,
+                args.shards,
+                args.tile_size,
+                replica_id=r,
+                wal_dir=wal_root / tag / f"shard{i}-r{r}",
+                fsync=fsync,
+            ).start()
+            for i in range(args.shards)
+            for r in range(replication)
+        ]
+        return fleet, [f"127.0.0.1:{s.address[1]}" for s in fleet]
+
+    def wait_wal_closed(server):
+        """CrashAfter/stop release the WAL from a helper thread."""
+        deadline = time.perf_counter() + 10.0
+        while server._wal._fh is not None and time.perf_counter() < deadline:
+            time.sleep(0.01)
+
+    total_points = scenario.archive.num_points
+    wal_ingest = {}
+    for policy in ("always", "interval", "off"):
+        fleet, fleet_addrs = start_wal_fleet(f"ingest-{policy}", fsync=policy)
+        t0 = time.perf_counter()
+        ingest = convert_archive(
+            scenario.archive, "remote", args.tile_size, fleet_addrs
+        )
+        t_ingest = time.perf_counter() - t0
+        policy_wal = ingest.backend_stats()["wal"]
+        ingest.close()
+        unflushed_at_close = sum(s.stop() for s in fleet)
+        t0 = time.perf_counter()
+        reborn_fleet = [
+            ArchiveShardServer(
+                i,
+                args.shards,
+                args.tile_size,
+                wal_dir=wal_root / f"ingest-{policy}" / f"shard{i}-r0",
+                fsync=policy,
+            )
+            for i in range(args.shards)
+        ]
+        t_recover = time.perf_counter() - t0
+        recovered_points = sum(s.num_points for s in reborn_fleet)
+        for server in reborn_fleet:
+            server.start()
+            server.stop()
+        wal_ingest[policy] = {
+            "ingest_s": round(t_ingest, 4),
+            "points_per_s": round(total_points / t_ingest, 1),
+            "records_appended": policy_wal["records_appended"],
+            "fsyncs": policy_wal["fsyncs"],
+            "unflushed_at_close": unflushed_at_close,
+            "recovery_s": round(t_recover, 4),
+            "recovery_complete": recovered_points == total_points,
+        }
+        print(
+            f"wal ingest fsync={policy:8s}: {t_ingest:.3f}s "
+            f"({total_points / t_ingest:.0f} pts/s, "
+            f"{policy_wal['fsyncs']} fsyncs), recovery {t_recover:.3f}s "
+            f"({'OK' if recovered_points == total_points else 'FAIL: lossy'})"
+        )
+
+    # Kill-mid-append recovery: identity against the seed baseline.
+    wal_servers, wal_addrs = start_wal_fleet("recovery")
+    crash_nth = 3
+    wal_servers[0].fault_hook = CrashAfter(wal_servers[0], op="insert", nth=crash_nth)
+    crash_seen = False
+    try:
+        convert_archive(scenario.archive, "remote", args.tile_size, wal_addrs)
+    except ShardUnavailableError:
+        crash_seen = True
+    wait_wal_closed(wal_servers[0])
+    t0 = time.perf_counter()
+    reborn0 = ArchiveShardServer(
+        0,
+        args.shards,
+        args.tile_size,
+        wal_dir=wal_root / "recovery" / "shard0-r0",
+    ).start()
+    t_wal_recover = time.perf_counter() - t0
+    recovered_lsn = reborn0._lsn
+    wal_addrs[0] = f"127.0.0.1:{reborn0.address[1]}"
+    # Idempotent re-push of the whole feed: rows acked pre-crash are
+    # already resident and append nothing; only the lost tail journals.
+    wal_remote = convert_archive(scenario.archive, "remote", args.tile_size, wal_addrs)
+    h_walrec = HRIS(scenario.network, wal_remote, HRISConfig())
+    res_walrec, __ = time_sequential(h_walrec, queries)
+    walrec_wal = wal_remote.backend_stats()["wal"]
+    wal_remote.close()
+    for server in [reborn0] + wal_servers[1:]:
+        server.stop()
+    print(
+        f"wal recovery (shard 0 killed on insert #{crash_nth}): "
+        f"crash {'seen' if crash_seen else 'MISSED'}, "
+        f"recovered lsn {recovered_lsn} in {t_wal_recover * 1e3:.1f}ms, "
+        f"re-push left {walrec_wal['unflushed_records']} unflushed"
+    )
+
+    # Replica log catch-up: kill a replica, mutate past it, restart it on
+    # the same port, and let the breaker probe repair it by log replay.
+    cu_servers, cu_addrs = start_wal_fleet("catchup", replication=args.replication)
+    catchup = RemoteShardedArchive(
+        cu_addrs,
+        replication=args.replication,
+        breaker_cooldown_s=0.05,
+        jitter_seed=0,
+    )
+    trip_ids = sorted(scenario.archive._trajectories)
+    missed = max(1, len(trip_ids) // 10)
+    for tid in trip_ids[:-missed]:
+        catchup._restore(scenario.archive._trajectories[tid])
+    dead = cu_servers[0]  # replica 0 of shard 0
+    dead_port = dead.address[1]
+    dead.stop()
+    wait_wal_closed(dead)
+    for tid in trip_ids[-missed:]:  # mutations the dead replica misses
+        catchup._restore(scenario.archive._trajectories[tid])
+    catchup._next_id = max(catchup._next_id, scenario.archive._next_id)
+    revived = ArchiveShardServer(
+        0,
+        args.shards,
+        args.tile_size,
+        replica_id=0,
+        port=dead_port,
+        wal_dir=wal_root / "catchup" / "shard0-r0",
+    ).start()
+    time.sleep(0.1)  # let the breaker cooldown lapse so probes fire
+    h_catchup = HRIS(scenario.network, catchup, HRISConfig())
+    res_catchup, __ = time_sequential(h_catchup, queries)
+    catchup_stats = catchup.backend_stats()
+    catchup.close()
+    for server in [revived] + cu_servers[1:]:
+        server.stop()
+    shutil.rmtree(wal_root, ignore_errors=True)
+    catchup_repaired = (
+        catchup_stats["catchups"] >= 1
+        and catchup_stats["healthy_replicas"] == catchup_stats["total_replicas"]
+    )
+    print(
+        f"replica catch-up ({args.shards}x{args.replication}, replica 0 of "
+        f"shard 0 missed {missed} trips): catchups="
+        f"{catchup_stats['catchups']}, "
+        f"{catchup_stats['catchup_records']} records replayed, "
+        f"{catchup_stats['healthy_replicas']}/{catchup_stats['total_replicas']} "
+        f"replicas healthy ({'OK' if catchup_repaired else 'FAIL: not repaired'})"
     )
 
     # --- query gateway: the HTTP serving tier over loopback ---------------
@@ -741,6 +920,9 @@ def main(argv=None) -> int:
         "shard_reference_vs_seed": result_keys(res_ref_shard) == ref
         and result_keys(res_ref_local) == ref,
         "shard_reference_degraded_vs_seed": result_keys(res_ref_rep) == ref,
+        "wal_recovery_vs_seed": result_keys(res_walrec) == ref and crash_seen,
+        "replica_catchup_vs_seed": result_keys(res_catchup) == ref
+        and catchup_repaired,
         "gateway_vs_seed": gw_identity_keys == ref,
     }
     print(f"identity: {identical}")
@@ -939,6 +1121,27 @@ def main(argv=None) -> int:
                 "failovers": ref_rep_stats["failovers"],
                 "healthy_replicas": ref_rep_stats["healthy_replicas"],
                 "total_replicas": ref_rep_stats["total_replicas"],
+            },
+        },
+        "wal_durability": {
+            "fsync_policies": wal_ingest,
+            "crash_recovery": {
+                "killed_on_insert": crash_nth,
+                "crash_seen": crash_seen,
+                "recovered_lsn": recovered_lsn,
+                "recovery_s": round(t_wal_recover, 4),
+                "wal_after_repush": walrec_wal,
+            },
+            "replica_catchup": {
+                "num_shards": args.shards,
+                "replication": args.replication,
+                "missed_trips": missed,
+                "catchups": catchup_stats["catchups"],
+                "catchup_records": catchup_stats["catchup_records"],
+                "restorations": catchup_stats["restorations"],
+                "healthy_replicas": catchup_stats["healthy_replicas"],
+                "total_replicas": catchup_stats["total_replicas"],
+                "repaired": catchup_repaired,
             },
         },
         "gateway": {

@@ -12,15 +12,18 @@ two long-running services — without writing any Python:
   drain (see ``docs/serving.md``);
 * ``archive-serve`` — run one archive shard server: the process owns a
   subset of spatial tiles, answers the reference search's range queries
-  for them, and (``repro-remote-v3``) summarises and assembles reference
-  candidates from the observations it owns (see ``docs/distributed.md``).
+  for them, summarises and assembles reference candidates from the
+  observations it owns, and (``repro-remote-v4``) optionally journals
+  every mutation to a durable write-ahead log (``--wal-dir``) so a
+  killed shard restarts with its acknowledged state intact (see
+  ``docs/distributed.md``).
 
 ``infer``, ``evaluate`` and ``serve`` pick the archive backend with
 ``--archive-backend {memory,sharded,remote}``: one in-process R-tree, an
 in-process tiled index, or fan-out to ``archive-serve`` processes named
 by repeated ``--shard-addr host:port`` flags.  With the remote backend,
 ``--reference-mode shard`` additionally assembles reference candidates on
-the shard servers (``repro-remote-v3``) instead of reading whole
+the shard servers (``repro-remote-v4``) instead of reading whole
 trajectories client-side.  Results are identical whichever backend — and
 whichever reference mode — serves the queries.
 
@@ -66,6 +69,10 @@ LANDMARKS_FILE = "landmarks.json"
 
 #: Contraction-hierarchy cache file stored next to a saved world's network.
 CONTRACTION_FILE = "contraction.json"
+
+#: Mirrors ``ArchiveShardServer.DEFAULT_COMPACT_EVERY`` without importing
+#: the remote module at parser-build time (server imports stay lazy).
+_DEFAULT_COMPACT_EVERY = 4096
 
 #: ``--routing`` choices mapped to HRISConfig knobs: each tier is gated
 #: bit-identical, so this flag only changes how much work queries do.
@@ -349,8 +356,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "archive-serve",
         help=(
-            "serve one shard of the archive over a socket (repro-remote-v3: "
-            "spatial range queries plus shard-side reference assembly)"
+            "serve one shard of the archive over a socket (repro-remote-v4: "
+            "spatial range queries, shard-side reference assembly, and "
+            "durable WAL ingest with replica log catch-up)"
         ),
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -392,6 +400,45 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "optional scenario directory to pre-seed this shard's tiles "
             "from (clients may then attach instead of pushing points)"
+        ),
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write-ahead-log directory for durable ingest: every mutation "
+            "is journalled before it is acknowledged and the shard "
+            "recovers its state from the log on restart (omit to serve "
+            "from memory only)"
+        ),
+    )
+    serve.add_argument(
+        "--fsync",
+        default="always",
+        choices=["always", "interval", "off"],
+        help=(
+            "WAL fsync policy: 'always' fsyncs each append before the ack, "
+            "'interval' batches fsyncs (see --fsync-interval), 'off' only "
+            "flushes (process-crash safe, power-fail unsafe)"
+        ),
+    )
+    serve.add_argument(
+        "--fsync-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="minimum seconds between fsyncs under --fsync interval",
+    )
+    serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=None,
+        metavar="RECORDS",
+        help=(
+            "rotate the WAL (snapshot + fresh log) once this many records "
+            "accumulate since the last snapshot (0 disables compaction; "
+            f"default {_DEFAULT_COMPACT_EVERY})"
         ),
     )
     return parser
@@ -636,6 +683,12 @@ def _cmd_archive_serve(args: argparse.Namespace) -> int:
         raise _CLIError("--tile-size must be positive")
     if args.replica_id < 0:
         raise _CLIError("--replica-id must be non-negative")
+    if args.fsync_interval <= 0:
+        raise _CLIError("--fsync-interval must be positive")
+    if args.compact_every is not None and args.compact_every < 0:
+        raise _CLIError("--compact-every must be non-negative (0 disables)")
+    if args.compact_every is not None and args.wal_dir is None:
+        raise _CLIError("--compact-every needs --wal-dir (nothing to compact)")
     server = ArchiveShardServer(
         shard_index,
         args.num_shards,
@@ -643,15 +696,30 @@ def _cmd_archive_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         replica_id=args.replica_id,
+        wal_dir=args.wal_dir,
+        fsync=args.fsync,
+        fsync_interval_s=args.fsync_interval,
+        compact_every=(
+            args.compact_every
+            if args.compact_every is not None
+            else _DEFAULT_COMPACT_EVERY
+        ),
     )
+    if args.wal_dir is not None and server._lsn > 0:
+        print(
+            f"recovered lsn {server._lsn} ({server.num_points} points) "
+            f"from WAL {args.wal_dir}",
+            flush=True,
+        )
     if args.world is not None:
         scenario = load_scenario(args.world)
         kept = server.preload(scenario.archive.iter_points())
         print(f"pre-seeded {kept}/{scenario.archive.num_points} archive points")
     host, port = server.address
+    durability = f"WAL {args.wal_dir} (fsync {args.fsync})" if args.wal_dir else "memory only"
     print(
         f"shard {shard_index}/{args.num_shards} (replica {args.replica_id}) "
-        f"serving {tile_size:.0f}m tiles on {host}:{port}",
+        f"serving {tile_size:.0f}m tiles on {host}:{port}, {durability}",
         flush=True,
     )
     try:
@@ -659,7 +727,13 @@ def _cmd_archive_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        server.stop()
+        pending = server.stop()
+        if pending:
+            print(
+                f"shutdown flushed {pending} WAL record(s) that were "
+                "awaiting fsync",
+                flush=True,
+            )
     return 0
 
 

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -682,6 +684,25 @@ _TILES_FILE = "tiles.json"
 _ARCHIVE_FORMAT = "repro-archive-v1"
 
 
+def _stash_path(directory: Path) -> Path:
+    """Where a :func:`save_archive` replacement stashes the old archive."""
+    return directory.parent / (directory.name + ".prev.tmp")
+
+
+def _recover_interrupted_save(directory: Path) -> None:
+    """Close the one crash window of an atomic archive replacement.
+
+    :func:`save_archive` replaces an existing archive with two renames:
+    target → ``<name>.prev.tmp``, then temp → target.  A crash between
+    them leaves the target missing but the previous archive intact under
+    the stash name; putting it back restores the pre-save state.  Both
+    the next save and :func:`load_archive` call this first.
+    """
+    stash = _stash_path(directory)
+    if stash.is_dir() and not directory.exists():
+        os.rename(stash, directory)
+
+
 def save_archive(archive: _ArchiveBase, directory: Union[str, Path]) -> Path:
     """Persist an archive (trips + index metadata) to a directory.
 
@@ -694,31 +715,55 @@ def save_archive(archive: _ArchiveBase, directory: Union[str, Path]) -> Path:
     The tile file is the *persistent spatial index*: reloading a sharded
     archive restores the binning without re-scanning every observation.
 
+    The write is **crash-safe**: every artefact is written into a
+    temporary sibling directory first and the target is replaced by
+    atomic renames only once the temp copy is complete, so a crash (or
+    an exception) mid-save can never leave a half-written or corrupted
+    archive at ``directory`` — the previous contents survive untouched.
+
     Returns:
         The directory path.
     """
     directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    trips = [archive._trajectories[tid] for tid in sorted(archive._trajectories)]
-    save_trajectories(trips, directory / _TRIPS_FILE)
-    manifest: Dict[str, object] = {
-        "format": _ARCHIVE_FORMAT,
-        "backend": "sharded" if isinstance(archive, ShardedArchive) else "memory",
-        "next_id": archive._next_id,
-        "n_trajectories": len(archive),
-        "n_points": archive.num_points,
-    }
-    if isinstance(archive, ShardedArchive):
-        manifest["tile_size"] = archive.tile_size
-        assignment = archive._ensure_assignment()
-        tiles = {
-            f"{ix},{iy}": [[ref.traj_id, ref.index] for ref in refs]
-            for (ix, iy), refs in sorted(assignment.items())
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    _recover_interrupted_save(directory)
+    staging = directory.parent / (directory.name + ".saving.tmp")
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        trips = [archive._trajectories[tid] for tid in sorted(archive._trajectories)]
+        save_trajectories(trips, staging / _TRIPS_FILE)
+        manifest: Dict[str, object] = {
+            "format": _ARCHIVE_FORMAT,
+            "backend": "sharded" if isinstance(archive, ShardedArchive) else "memory",
+            "next_id": archive._next_id,
+            "n_trajectories": len(archive),
+            "n_points": archive.num_points,
         }
-        with open(directory / _TILES_FILE, "w", encoding="utf-8") as f:
-            json.dump(tiles, f)
-    with open(directory / _MANIFEST_FILE, "w", encoding="utf-8") as f:
-        json.dump(manifest, f, indent=2)
+        if isinstance(archive, ShardedArchive):
+            manifest["tile_size"] = archive.tile_size
+            assignment = archive._ensure_assignment()
+            tiles = {
+                f"{ix},{iy}": [[ref.traj_id, ref.index] for ref in refs]
+                for (ix, iy), refs in sorted(assignment.items())
+            }
+            with open(staging / _TILES_FILE, "w", encoding="utf-8") as f:
+                json.dump(tiles, f)
+        with open(staging / _MANIFEST_FILE, "w", encoding="utf-8") as f:
+            json.dump(manifest, f, indent=2)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    if directory.exists():
+        stash = _stash_path(directory)
+        if stash.exists():
+            shutil.rmtree(stash)
+        os.rename(directory, stash)
+        os.rename(staging, directory)  # commit point for the replacement
+        shutil.rmtree(stash)
+    else:
+        os.rename(staging, directory)
     return directory
 
 
@@ -744,6 +789,7 @@ def load_archive(
             corrupt tile indexes.
     """
     directory = Path(directory)
+    _recover_interrupted_save(directory)
     with open(directory / _MANIFEST_FILE, "r", encoding="utf-8") as f:
         manifest = json.load(f)
     found = manifest.get("format")

@@ -20,7 +20,7 @@ trajectory points.  Two sources implement it:
   :class:`~repro.core.archive.ArchiveBackend` trip store — the monolithic
   path, and the float-level ground truth for every identity gate;
 * ``repro.core.remote.RemoteTripSource`` answers over the
-  ``repro-remote-v3`` wire: shards assemble candidate summaries and spans
+  ``repro-remote-v4`` wire: shards assemble candidate summaries and spans
   from the tiles they own, and the client stitches spans that cross tile
   ownership back into canonical index order.
 

@@ -8,7 +8,10 @@ longer have to fit one machine's memory:
 * :class:`ArchiveShardServer` — a process that **owns** a deterministic
   subset of tiles (see :func:`shard_of_tile`) and answers the archive
   range queries for them over a length-prefixed JSON socket protocol
-  (``repro-remote-v3``, specified in ``docs/distributed.md``);
+  (``repro-remote-v4``, specified in ``docs/distributed.md``),
+  optionally journalling every mutation to a durable write-ahead log
+  (:mod:`repro.core.wal`) so a process death loses no acknowledged
+  ingest;
 * :class:`RemoteShardedArchive` — an
   :class:`~repro.core.archive.ArchiveBackend` client that routes every
   spatial query to the owning shard servers, fans pair queries out
@@ -16,7 +19,7 @@ longer have to fit one machine's memory:
   ``(traj_id, index)`` order — results are bit-identical to
   :class:`~repro.core.archive.InMemoryArchive` and
   :class:`~repro.core.archive.ShardedArchive` on the same trips;
-* :class:`RemoteTripSource` — the ``repro-remote-v3`` implementation of
+* :class:`RemoteTripSource` — the ``repro-remote-v4`` implementation of
   :class:`repro.core.reference.TripSource`: reference candidates are
   summarised and assembled **on the shards** (``search_references``,
   ``traj_meta``, ``fetch_spans``), and spans whose trajectory crosses
@@ -37,11 +40,18 @@ shard; reads route to one healthy replica and fail over transparently.
 :class:`RemoteShardedArchive` tracks per-replica health with a
 consecutive-failure circuit breaker: a replica that keeps failing is
 *demoted* (its circuit opens), reads stop routing to it, and after a
-cooldown a half-open ``stats`` probe restores it — but only when its
-point count still matches the mutation stream, so a replica that missed
-a mutation (or restarted empty) is left *stale* rather than silently
-serving divergent answers.  No error reaches the caller while at least
-one current replica of every queried shard survives.
+cooldown a half-open ``stats`` probe restores it.  A probe that finds
+the replica *lagging* — alive, but behind the mutation stream this
+client has driven — **repairs** it before restoring it: the missing
+record suffix is fetched from a healthy peer (``log_since``) and
+replayed onto the laggard (``apply_log``), so a replica that restarted
+from an old WAL generation or missed writes while its breaker was open
+rejoins the rotation with bit-identical data.  Only a replica whose
+missing prefix is gone (compacted away on every peer) or whose data
+truly diverged is left *stale* — excluded from reads, cheaply re-probed
+after each cooldown, never silently serving divergent answers.  No
+error reaches the caller while at least one current replica of every
+queried shard survives.
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ import struct
 import threading
 import time
 from collections import deque
+from pathlib import Path
 from typing import (
     Callable,
     Dict,
@@ -73,6 +84,7 @@ from repro.spatial.rtree import RTree
 from repro.trajectory.model import GPSPoint, Trajectory
 
 from repro.core.archive import ArchivePoint, _ArchiveBase, _group_refs, _ref_key
+from repro.core.wal import FSYNC_POLICIES, WriteAheadLog
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -91,17 +103,21 @@ __all__ = [
     "request_shutdown",
 ]
 
-#: Wire-format version token.  Every request carries ``"v": 3`` and the
+#: Wire-format version token.  Every request carries ``"v": 4`` and the
 #: handshake reply carries this string; both sides reject mismatches up
 #: front instead of mis-parsing payloads (see docs/distributed.md).  The
 #: ``hello`` op is version-agnostic on the server so that any client can
 #: discover what a server speaks before committing to the dialect.
+#: v4 over v3: servers expose their mutation-log position (``lsn`` in
+#: ``hello``/``insert``/``delete``/``stats`` replies) and the replica
+#: catch-up ops ``log_since`` / ``apply_log`` exist, so a lagging
+#: replica is repaired by log replay instead of demoted permanently.
 #: v3 over v2: observations carry timestamps, shards keep a per-trajectory
 #: point store alongside the tile bins, and the reference-assembly ops
 #: (``search_references`` / ``traj_meta`` / ``fetch_spans``) exist.
-PROTOCOL_VERSION = "repro-remote-v3"
+PROTOCOL_VERSION = "repro-remote-v4"
 
-_WIRE_V = 3
+_WIRE_V = 4
 
 #: Bound on the per-client request-latency telemetry ring
 #: (:attr:`RemoteShardedArchive.request_latencies`): old samples fall off
@@ -124,7 +140,7 @@ class RemoteArchiveError(RuntimeError):
 
 
 class ShardProtocolError(RemoteArchiveError):
-    """The peer spoke, but not ``repro-remote-v3`` (version/shape/refusal)."""
+    """The peer spoke, but not ``repro-remote-v4`` (version/shape/refusal)."""
 
 
 class ShardUnavailableError(RemoteArchiveError):
@@ -371,7 +387,7 @@ class ArchiveShardServer:
     ``floor(coord / tile_size)`` tiles as
     :class:`~repro.core.archive.ShardedArchive` — and materialises one
     R-tree per tile lazily, exactly like the single-process sharded
-    backend.  Since ``repro-remote-v3`` it additionally keeps the owned
+    backend.  Since wire v3 it additionally keeps the owned
     observations grouped per trajectory id, so it can answer the
     reference-assembly ops (``search_references`` / ``traj_meta`` /
     ``fetch_spans``) for the index ranges it owns: whole trajectories
@@ -389,6 +405,16 @@ class ArchiveShardServer:
     ``replica_id`` distinguishes them in handshakes, stats and logs; it
     carries no routing semantics.
 
+    Durability: every *effective* mutation (rows that actually change
+    state — idempotent retries append nothing) is assigned the next LSN,
+    journalled, and only then applied and acknowledged.  With ``wal_dir``
+    set the journal is a :class:`~repro.core.wal.WriteAheadLog` on disk:
+    construction *is* recovery (snapshot + log-suffix replay with
+    torn-tail truncation), and every ``compact_every`` records the log
+    is compacted into a new snapshot generation.  Without ``wal_dir``
+    the same record stream is kept in memory only — volatile, but it
+    still feeds the ``log_since`` replica catch-up op.
+
     Args:
         shard_index: This shard's index in ``[0, num_shards)``.
         num_shards: Total shards in the deployment.
@@ -396,7 +422,16 @@ class ArchiveShardServer:
         host / port: Bind address; port 0 picks an ephemeral port
             (read it back from :attr:`address`).
         replica_id: This process's label within the shard's replica set.
+        wal_dir: Directory for the durable write-ahead log (``None``
+            keeps the mutation journal in memory only).
+        fsync: WAL fsync policy — one of
+            :data:`~repro.core.wal.FSYNC_POLICIES`.
+        fsync_interval_s: Seconds between fsyncs under ``"interval"``.
+        compact_every: Compact the WAL after this many records since the
+            last snapshot (0 disables compaction).
     """
+
+    DEFAULT_COMPACT_EVERY = 4096
 
     def __init__(
         self,
@@ -406,11 +441,17 @@ class ArchiveShardServer:
         host: str = "127.0.0.1",
         port: int = 0,
         replica_id: int = 0,
+        wal_dir: Optional[Union[str, Path]] = None,
+        fsync: str = "always",
+        fsync_interval_s: float = 0.05,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
     ) -> None:
         if not 0 <= shard_index < num_shards:
             raise ValueError(f"shard_index {shard_index} outside [0, {num_shards})")
         if tile_size <= 0.0:
             raise ValueError("tile_size must be positive")
+        if compact_every < 0:
+            raise ValueError("compact_every must be non-negative")
         self.shard_index = shard_index
         self.num_shards = num_shards
         self.tile_size = float(tile_size)
@@ -428,9 +469,41 @@ class ArchiveShardServer:
         self._lock = threading.RLock()
         self._conn_lock = threading.Lock()
         self._active_conns: set = set()
+        #: Mutation journal state: ``_lsn`` is the last record applied,
+        #: ``_log`` the in-memory record tail ``(lsn, op, rows)`` since
+        #: ``_base_lsn`` — exactly what ``log_since`` can serve.
+        self._lsn = 0
+        self._base_lsn = 0
+        self._log: List[Tuple[int, str, list]] = []
+        self._compact_every = int(compact_every)
+        self._wal: Optional[WriteAheadLog] = None
+        self._wal_unflushed_at_close = 0
+        if wal_dir is not None:
+            self._wal = WriteAheadLog(
+                wal_dir, fsync=fsync, fsync_interval_s=fsync_interval_s
+            )
+            self._recover_from_wal()
+        elif fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
         self._server = _TCPServer((host, port), _ShardRequestHandler)
         self._server.shard = self
         self._thread: Optional[threading.Thread] = None
+
+    def _recover_from_wal(self) -> None:
+        """Rebuild tiles/trips from the recovered snapshot + log suffix."""
+        assert self._wal is not None
+        if self._wal.snapshot_rows:
+            self._apply_rows("insert", self._wal.snapshot_rows)
+        for __, op, rows in self._wal.records:
+            self._apply_rows(op, rows)
+        self._lsn = self._wal.lsn
+        self._base_lsn = self._wal.base_lsn
+        self._log = list(self._wal.records)
+        # The replayed lists now live in self._log; drop the WAL's copies.
+        self._wal.snapshot_rows = None
+        self._wal.records = []
 
     # ----------------------------------------------------------- lifecycle
 
@@ -450,13 +523,19 @@ class ArchiveShardServer:
         """Serve on the calling thread (the CLI ``archive-serve`` path)."""
         self._server.serve_forever()
 
-    def stop(self) -> None:
-        """Stop serving *and* sever live connections.
+    def stop(self) -> int:
+        """Stop serving, sever live connections, flush and close the WAL.
 
         Closing only the listener would leave in-flight handler threads
         answering their persistent connections, which makes an in-process
         "kill" unfaithful to a process death; tearing the sockets down
         makes every client see the same reset a crashed replica causes.
+
+        Returns:
+            Records that were still awaiting fsync when the WAL was
+            closed (0 with no WAL or policy ``"always"``) — the
+            acknowledged-but-volatile count a crash at this moment would
+            have lost; the CLI reports it on shutdown.
         """
         self._server.shutdown()
         self._server.server_close()
@@ -475,6 +554,10 @@ class ArchiveShardServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        with self._lock:
+            if self._wal is not None:
+                self._wal_unflushed_at_close = self._wal.close()
+        return self._wal_unflushed_at_close
 
     def _track_connection(self, sock: socket.socket) -> None:
         with self._conn_lock:
@@ -509,19 +592,94 @@ class ArchiveShardServer:
             Observations kept.
         """
         kept = 0
+        effective: List[list] = []
         with self._lock:
             for ref, p in points:
                 key = self.tile_key(p.x, p.y)
                 if not self.owns(key):
                     continue
-                self._insert_one(
-                    key,
-                    (ref.traj_id, ref.index),
-                    (p.x, p.y),
-                    float(getattr(p, "t", 0.0)),
-                )
                 kept += 1
+                if (ref.traj_id, ref.index) in self._tiles.get(key, ()):
+                    continue  # already resident (e.g. WAL recovery preceded us)
+                effective.append(
+                    [
+                        int(ref.traj_id),
+                        int(ref.index),
+                        float(p.x),
+                        float(p.y),
+                        float(getattr(p, "t", 0.0)),
+                    ]
+                )
+            if effective:
+                self._commit("insert", effective)
         return kept
+
+    # ------------------------------------------------------------ durability
+
+    def _apply_rows(self, op: str, rows: Sequence[Sequence[float]]) -> None:
+        """Apply one journal record's rows to the tile/trip state."""
+        if op == "insert":
+            for tid, idx, x, y, *rest in rows:
+                self._insert_one(
+                    self.tile_key(x, y),
+                    (int(tid), int(idx)),
+                    (x, y),
+                    float(rest[0]) if rest else 0.0,
+                )
+        elif op == "delete":
+            for tid, idx, x, y, *__ in rows:
+                self._delete_one(self.tile_key(x, y), (int(tid), int(idx)), (x, y))
+        else:
+            raise ValueError(f"unknown journal op {op!r}")
+
+    def _commit(self, op: str, rows: list, lsn: Optional[int] = None) -> int:
+        """Journal one effective mutation, then apply it (write-ahead).
+
+        The WAL append happens *before* the state change and before any
+        reply is framed, so an acknowledged mutation is always on disk
+        (subject to the fsync policy); a crash between append and apply
+        is repaired by replay.  ``lsn`` defaults to the next in sequence
+        and may only be passed by ``apply_log`` (which preserves the
+        donor's numbering — the gap check there guarantees it matches).
+        """
+        next_lsn = self._lsn + 1 if lsn is None else int(lsn)
+        if next_lsn != self._lsn + 1:
+            raise ValueError(f"lsn {next_lsn} leaves a gap after {self._lsn}")
+        if self._wal is not None:
+            self._wal.append(next_lsn, op, rows)
+        self._log.append((next_lsn, op, rows))
+        self._lsn = next_lsn
+        self._apply_rows(op, rows)
+        self._maybe_compact()
+        return next_lsn
+
+    def _maybe_compact(self) -> None:
+        """Snapshot + rotate once ``compact_every`` records accumulate.
+
+        Only the durable WAL compacts: an in-memory journal keeps its
+        whole tail (it costs no I/O and lets ``log_since`` always serve
+        a complete feed for catch-up in tests and embedded fleets).
+        """
+        if (
+            self._wal is None
+            or self._compact_every <= 0
+            or self._lsn - self._base_lsn < self._compact_every
+        ):
+            return
+        self._wal.rotate(self._snapshot_rows(), self._lsn)
+        self._log = []
+        self._base_lsn = self._lsn
+
+    def _snapshot_rows(self) -> List[list]:
+        """Every resident observation as canonical ``[tid, idx, x, y, t]``
+        rows (sorted), the payload of a compaction snapshot."""
+        rows: List[list] = []
+        for tid in sorted(self._trips):
+            points = self._trips[tid]
+            for idx in sorted(points):
+                x, y, t = points[idx]
+                rows.append([tid, idx, x, y, t])
+        return rows
 
     def _insert_one(
         self,
@@ -652,6 +810,7 @@ class ArchiveShardServer:
                 "tile_size": self.tile_size,
                 "num_points": self.num_points,
                 "num_tiles": len(self._tiles),
+                "lsn": self._lsn,
             }
 
     def _op_ping(self, request: dict) -> dict:
@@ -672,23 +831,108 @@ class ArchiveShardServer:
                     f"shard {shard_of_tile(key, self.num_shards)}, "
                     f"not {self.shard_index}",
                 }
+        # Journal only the *effective* rows: a client retry after a lost
+        # reply finds every row resident, appends no record and bumps no
+        # LSN — idempotence extends to the durable log, and replicas fed
+        # the same stream assign identical LSNs to identical records.
+        effective = []
         for tid, idx, x, y, *rest in rows:
-            self._insert_one(
-                self.tile_key(x, y),
-                (int(tid), int(idx)),
-                (x, y),
-                float(rest[0]) if rest else 0.0,
+            if (int(tid), int(idx)) in self._tiles.get(self.tile_key(x, y), ()):
+                continue
+            effective.append(
+                [int(tid), int(idx), float(x), float(y), float(rest[0]) if rest else 0.0]
             )
-        # The post-mutation point count lets the client audit replica
-        # convergence: every replica of a shard receives the same stream,
-        # so divergent counts expose a stale replica immediately.
-        return {"ok": True, "inserted": len(rows), "num_points": self.num_points}
+        if effective:
+            self._commit("insert", effective)
+        # The post-mutation point count and log position let the client
+        # audit replica convergence: every replica of a shard receives
+        # the same stream, so divergence exposes a stale replica
+        # immediately.
+        return {
+            "ok": True,
+            "inserted": len(rows),
+            "num_points": self.num_points,
+            "lsn": self._lsn,
+        }
 
     def _op_delete(self, request: dict) -> dict:
         rows = request["points"]
+        effective = []
         for tid, idx, x, y, *__ in rows:
-            self._delete_one(self.tile_key(x, y), (int(tid), int(idx)), (x, y))
-        return {"ok": True, "deleted": len(rows), "num_points": self.num_points}
+            if (int(tid), int(idx)) in self._tiles.get(self.tile_key(x, y), ()):
+                effective.append([int(tid), int(idx), float(x), float(y)])
+        if effective:
+            self._commit("delete", effective)
+        return {
+            "ok": True,
+            "deleted": len(rows),
+            "num_points": self.num_points,
+            "lsn": self._lsn,
+        }
+
+    def _op_log_since(self, request: dict) -> dict:
+        """The mutation records after ``lsn`` — the replica catch-up feed.
+
+        ``complete`` is false when the requested position predates this
+        journal's retained tail (``base_lsn`` — older records were
+        compacted into a snapshot): the caller cannot rebuild a peer
+        from here and must fall back to demotion.
+        """
+        since = int(request["lsn"])
+        if since < self._base_lsn:
+            return {
+                "ok": True,
+                "complete": False,
+                "lsn": self._lsn,
+                "base_lsn": self._base_lsn,
+                "records": [],
+            }
+        return {
+            "ok": True,
+            "complete": True,
+            "lsn": self._lsn,
+            "base_lsn": self._base_lsn,
+            "records": [
+                [lsn, op, rows] for lsn, op, rows in self._log if lsn > since
+            ],
+        }
+
+    def _op_apply_log(self, request: dict) -> dict:
+        """Replay a peer's record suffix, preserving its LSNs.
+
+        Records at or below this journal's position are skipped
+        (idempotent retry); the first new record must extend the local
+        stream gap-free — a gap means the suffix does not match this
+        replica's history, and applying it would diverge silently.
+        Applied records are journalled to this server's own WAL with
+        their original LSNs, so both replicas end bit-identical on disk.
+        """
+        applied = 0
+        for record in request["records"]:
+            lsn, op, rows = int(record[0]), str(record[1]), record[2]
+            if op not in ("insert", "delete"):
+                return {
+                    "ok": False,
+                    "kind": "bad_request",
+                    "error": f"unknown log op {op!r}",
+                }
+            if lsn <= self._lsn:
+                continue
+            if lsn != self._lsn + 1:
+                return {
+                    "ok": False,
+                    "kind": "log_gap",
+                    "error": f"record lsn {lsn} leaves a gap after local "
+                    f"lsn {self._lsn}",
+                }
+            self._commit(op, rows, lsn=lsn)
+            applied += 1
+        return {
+            "ok": True,
+            "applied": applied,
+            "num_points": self.num_points,
+            "lsn": self._lsn,
+        }
 
     def _op_search_circles(self, request: dict) -> dict:
         queries = [(Point(x, y), r) for x, y, r in request["queries"]]
@@ -842,6 +1086,9 @@ class ArchiveShardServer:
             "resident_tiles": len(self._trees),
             "resident_points": sum(len(t) for t in self._trees.values()),
             "index_bytes": sum(t.approx_nbytes() for t in self._trees.values()),
+            "lsn": self._lsn,
+            "base_lsn": self._base_lsn,
+            "wal": self._wal.stats() if self._wal is not None else {"enabled": False},
         }
 
     def _op_shutdown(self, request: dict) -> dict:
@@ -862,7 +1109,7 @@ def _group_pairs(hits: Sequence[Tuple[int, int]]) -> List[List[object]]:
 class _ShardConnection:
     """One replica's persistent connection: framing, timeout, bounded retry.
 
-    Every ``repro-remote-v3`` operation is idempotent, so a request whose
+    Every ``repro-remote-v4`` operation is idempotent, so a request whose
     reply was lost can be resent verbatim; the retry schedule is
     ``retries`` resends with *full-jitter* exponential backoff — each
     wait is drawn uniformly from ``[0, backoff_s · 2^(attempt−1)]``, so
@@ -1079,9 +1326,11 @@ class _ReplicaState:
         self.conn = conn
         self.replica_id = replica_id
         self.state = _CLOSED
-        #: A stale replica missed a mutation (or its data diverged): it is
-        #: excluded from routing permanently — a liveness probe cannot
-        #: prove its *data* is current, only a resync could.
+        #: A stale replica's data could not be brought current: its
+        #: missing log prefix was compacted away on every healthy peer,
+        #: or its contents diverged from the mutation stream.  It is
+        #: excluded from routing; each cooldown a cheap probe re-checks
+        #: whether a log catch-up has become possible.
         self.stale = False
         self.consecutive_failures = 0
         self.opened_at = 0.0
@@ -1108,16 +1357,27 @@ class _ReplicaSet:
 
     Reads route to one replica and fail over transparently: candidates
     are the closed (healthy) replicas in round-robin order, then any
-    demoted replica whose breaker cooldown has elapsed — the latter must
-    first pass a half-open ``stats`` probe whose point count matches the
-    mutation stream this client has driven (``expected_points``), so a
-    replica that restarted empty or missed a write can never serve reads
-    again (it is marked stale instead of restored).
+    demoted replica whose breaker cooldown has elapsed.  The latter pass
+    through a half-open ``stats`` probe first: a replica whose point
+    count *and* log position match the mutation stream this client has
+    driven (``expected_points`` / ``expected_lsn``) is restored
+    directly; a replica that is alive but *lagging* — restarted from an
+    old WAL generation, or demoted while writes went on — is **repaired**
+    before restoration by replaying the missing record suffix from a
+    healthy peer (``log_since`` on the donor, ``apply_log`` on the
+    laggard) and re-verifying.  Only when no complete feed exists (the
+    donor compacted past the laggard's position) or the replay fails to
+    converge is the replica marked stale — out of rotation, cheaply
+    re-probed each cooldown.
 
-    Mutations fan out to every non-stale replica.  A replica that fails
-    to apply one (or reports a divergent post-mutation point count) is
-    marked stale: partial mutation failure degrades capacity, never
-    correctness.  The mutation succeeds if at least one replica applied
+    Mutations fan out to every healthy (closed, non-stale) replica.  A
+    demoted replica must *not* receive writes out of order — it rejoins
+    only through catch-up, which preserves the canonical record stream —
+    so mutate skips it; a replica that fails to apply a mutation is
+    demoted on the spot (it now lags by that record), and one that
+    reports a divergent post-mutation point count or log position is
+    marked stale.  Partial mutation failure degrades capacity, never
+    correctness: the mutation succeeds if at least one replica applied
     it.
 
     The breaker: ``breaker_threshold`` consecutive request failures open
@@ -1135,10 +1395,12 @@ class _ReplicaSet:
         breaker_threshold: int,
         breaker_cooldown_s: float,
         clock: Callable[[], float] = time.monotonic,
+        expected_lsn: int = 0,
     ) -> None:
         self.shard_index = shard_index
         self.replicas = list(replicas)
         self.expected_points = expected_points
+        self.expected_lsn = expected_lsn
         self.breaker_threshold = max(1, int(breaker_threshold))
         self.breaker_cooldown_s = float(breaker_cooldown_s)
         self._clock = clock
@@ -1147,6 +1409,8 @@ class _ReplicaSet:
         self.failovers = 0
         self.demotions = 0
         self.restorations = 0
+        self.catchups = 0
+        self.catchup_records = 0
 
     # ------------------------------------------------------------- breaker
 
@@ -1172,14 +1436,47 @@ class _ReplicaSet:
                 replica.state = _CLOSED
                 self.restorations += 1
 
+    def _mark_lagging(self, replica: _ReplicaState) -> None:
+        """A missed mutation demotes immediately, whatever the threshold:
+        the replica now lags the canonical stream, and it may only rejoin
+        through the probe's log catch-up."""
+        with self._lock:
+            replica.failures += 1
+            replica.consecutive_failures += 1
+            if replica.state == _CLOSED:
+                replica.state = _OPEN
+                self.demotions += 1
+            replica.opened_at = self._clock()
+
     def _mark_stale(self, replica: _ReplicaState) -> None:
         with self._lock:
+            replica.opened_at = self._clock()  # pace the re-probes
             if not replica.stale:
                 replica.stale = True
                 self.demotions += 1
 
+    def _restore(self, replica: _ReplicaState) -> None:
+        """Return a verified-current replica to the read rotation."""
+        with self._lock:
+            replica.successes += 1
+            replica.consecutive_failures = 0
+            demoted = replica.state == _OPEN or replica.stale
+            replica.state = _CLOSED
+            replica.stale = False
+            if demoted:
+                self.restorations += 1
+
     def _cooldown_elapsed(self, replica: _ReplicaState, now: float) -> bool:
         return (now - replica.opened_at) >= self.breaker_cooldown_s
+
+    def _probe_eligible(self) -> List[_ReplicaState]:
+        """Demoted replicas (open *or* stale) whose cooldown has elapsed."""
+        now = self._clock()
+        return [
+            r
+            for r in self.replicas
+            if (r.state == _OPEN or r.stale) and self._cooldown_elapsed(r, now)
+        ]
 
     def _read_candidates(self) -> List[_ReplicaState]:
         """Healthy replicas (round-robin), then probe-eligible demoted ones."""
@@ -1191,29 +1488,86 @@ class _ReplicaSet:
                 start = self._rotation % len(closed)
                 self._rotation += 1
                 closed = closed[start:] + closed[:start]
-            now = self._clock()
-            half_open = [
-                r
-                for r in self.replicas
-                if r.state == _OPEN
-                and not r.stale
-                and self._cooldown_elapsed(r, now)
-            ]
+            half_open = self._probe_eligible()
         return closed + half_open
 
     def _try_restore(self, replica: _ReplicaState) -> bool:
-        """Half-open probe: liveness *and* data currency, then close."""
+        """Half-open probe: liveness, then data currency — with repair.
+
+        A replica that answers but lags the expected log position is
+        caught up from a healthy donor before restoration; see
+        :meth:`_try_catch_up`.
+        """
         try:
             stats = replica.conn.request({"op": "stats", "v": _WIRE_V})
         except RemoteArchiveError:
             self._record_failure(replica)
             return False
-        if int(stats["num_points"]) != self.expected_points:
-            # Alive but missing data (restarted empty / missed writes):
-            # restoring it would silently break bit-identity.
+        with self._lock:
+            expected_points = self.expected_points
+            expected_lsn = self.expected_lsn
+        if (
+            int(stats["num_points"]) == expected_points
+            and int(stats.get("lsn", -1)) == expected_lsn
+        ):
+            self._restore(replica)
+            return True
+        return self._try_catch_up(replica, int(stats.get("lsn", 0)))
+
+    def _try_catch_up(self, replica: _ReplicaState, replica_lsn: int) -> bool:
+        """Repair a lagging replica by replaying a donor's log suffix.
+
+        Fetches the records after ``replica_lsn`` from a healthy peer
+        (``log_since``), replays them onto the laggard (``apply_log``),
+        and re-verifies point count and log position before restoring.
+        The replica is marked stale only when repair is *impossible*
+        (no healthy donor, the donor compacted past the laggard's
+        position, or the replay failed to converge — i.e. the laggard's
+        history diverged from the canonical stream).
+        """
+        with self._lock:
+            donors = [
+                r
+                for r in self.replicas
+                if r is not replica and r.state == _CLOSED and not r.stale
+            ]
+        if not donors:
             self._mark_stale(replica)
             return False
-        self._record_success(replica)
+        try:
+            feed = donors[0].conn.request(
+                {"op": "log_since", "v": _WIRE_V, "lsn": max(replica_lsn, 0)}
+            )
+        except RemoteArchiveError:
+            self._record_failure(donors[0])
+            return False
+        if not feed.get("ok", False) or not feed.get("complete", False):
+            # The missing prefix was compacted away on the donor: only an
+            # operator resync (restart from a copied snapshot) can repair
+            # this replica.
+            self._mark_stale(replica)
+            return False
+        try:
+            reply = replica.conn.request(
+                {"op": "apply_log", "v": _WIRE_V, "records": feed["records"]}
+            )
+        except RemoteArchiveError:
+            self._record_failure(replica)
+            return False
+        with self._lock:
+            expected_points = self.expected_points
+            expected_lsn = self.expected_lsn
+        if (
+            not reply.get("ok", False)
+            or int(reply.get("num_points", -1)) != expected_points
+            or int(reply.get("lsn", -1)) != expected_lsn
+        ):
+            self._mark_stale(replica)
+            return False
+        with self._lock:
+            self.catchups += 1
+            self.catchup_records += len(feed["records"])
+        self._restore(replica)
         return True
 
     def _maybe_probe_demoted(self) -> None:
@@ -1224,14 +1578,7 @@ class _ReplicaSet:
         restarts it.
         """
         with self._lock:
-            now = self._clock()
-            eligible = [
-                r
-                for r in self.replicas
-                if r.state == _OPEN
-                and not r.stale
-                and self._cooldown_elapsed(r, now)
-            ]
+            eligible = self._probe_eligible()
         if eligible:
             self._try_restore(eligible[0])
 
@@ -1242,7 +1589,7 @@ class _ReplicaSet:
         failures: List[ShardUnavailableError] = []
         candidates = self._read_candidates()
         for replica in candidates:
-            if replica.state == _OPEN:
+            if replica.state == _OPEN or replica.stale:
                 if not self._try_restore(replica):
                     continue
             try:
@@ -1263,29 +1610,33 @@ class _ReplicaSet:
         raise ShardExhaustedError(self.shard_index, op, len(self.replicas), failures)
 
     def mutate(self, payload: dict) -> dict:
-        """Fan a mutation out to every non-stale replica.
+        """Fan a mutation out to every healthy replica.
 
-        Returns the first successful reply.  Replicas that fail to apply
-        the mutation — or disagree with the first success on the
-        post-mutation point count — are marked stale.
+        Returns the first successful reply.  Demoted replicas (open or
+        stale) are skipped — feeding them writes out of order would
+        corrupt the per-replica record stream the catch-up protocol
+        relies on; the half-open probe replays what they missed instead.
+        A replica that fails to apply the mutation is demoted on the
+        spot (it lags by this record now); one that disagrees with the
+        first success on the post-mutation point count or log position
+        is marked stale.
         """
         successes: List[Tuple[_ReplicaState, dict]] = []
         failures: List[ShardUnavailableError] = []
-        now = self._clock()
-        for replica in self.replicas:
-            if replica.stale:
-                continue
-            if replica.state == _OPEN and not self._cooldown_elapsed(replica, now):
-                # Known-dead and not yet probeable: it misses this write
-                # either way, so demote it to stale without paying the
-                # connection timeout.
-                self._mark_stale(replica)
-                continue
+        targets = [r for r in self.replicas if not r.stale and r.state != _OPEN]
+        if not targets:
+            # The whole set is demoted: probe (and repair) any replica
+            # whose cooldown has elapsed right now, rather than failing
+            # the write while a healthy server sits behind an open
+            # breaker.
+            with self._lock:
+                eligible = self._probe_eligible()
+            targets = [r for r in eligible if self._try_restore(r)]
+        for replica in targets:
             try:
                 response = replica.conn.request(payload)
             except ShardUnavailableError as exc:
-                self._record_failure(replica)
-                self._mark_stale(replica)
+                self._mark_lagging(replica)
                 failures.append(exc)
                 continue
             successes.append((replica, response))
@@ -1297,14 +1648,20 @@ class _ReplicaSet:
                 self.shard_index, op, len(self.replicas), failures
             )
         authoritative = successes[0][1].get("num_points")
+        authoritative_lsn = successes[0][1].get("lsn")
         for replica, response in successes:
-            if response.get("num_points") != authoritative:
+            if (
+                response.get("num_points") != authoritative
+                or response.get("lsn") != authoritative_lsn
+            ):
                 self._mark_stale(replica)
             else:
                 self._record_success(replica)
-        if authoritative is not None:
-            with self._lock:
+        with self._lock:
+            if authoritative is not None:
                 self.expected_points = int(authoritative)
+            if authoritative_lsn is not None:
+                self.expected_lsn = int(authoritative_lsn)
         return successes[0][1]
 
     # ------------------------------------------------------------ lifecycle
@@ -1318,9 +1675,12 @@ class _ReplicaSet:
             return {
                 "shard_index": self.shard_index,
                 "expected_points": self.expected_points,
+                "expected_lsn": self.expected_lsn,
                 "failovers": self.failovers,
                 "demotions": self.demotions,
                 "restorations": self.restorations,
+                "catchups": self.catchups,
+                "catchup_records": self.catchup_records,
                 "replicas": [r.health() for r in self.replicas],
             }
 
@@ -1342,7 +1702,7 @@ class RemoteShardedArchive(_ArchiveBase):
     client instead runs the identical reference kernel over
     :meth:`trip_source`, and the trip store is never read during search:
     shards summarise and assemble candidates from the observations they
-    own (``repro-remote-v3``), which is what removes the single-machine
+    own (``repro-remote-v4``), which is what removes the single-machine
     bound on archive size.
 
     Mutations (:meth:`add` / :meth:`remove`) forward each trip's points
@@ -1505,6 +1865,13 @@ class RemoteShardedArchive(_ArchiveBase):
                     f"point counts {sorted(counts)} across "
                     f"{[m[0].address for m in members]}"
                 )
+            lsns = {int(h.get("lsn", 0)) for __, h in members}
+            if len(lsns) > 1:
+                raise ShardProtocolError(
+                    f"replicas of shard {index} diverge before any query: "
+                    f"log positions {sorted(lsns)} across "
+                    f"{[m[0].address for m in members]}"
+                )
             self._shards.append(
                 _ReplicaSet(
                     index,
@@ -1515,6 +1882,7 @@ class RemoteShardedArchive(_ArchiveBase):
                     expected_points=counts.pop(),
                     breaker_threshold=breaker_threshold,
                     breaker_cooldown_s=breaker_cooldown_s,
+                    expected_lsn=lsns.pop(),
                 )
             )
         self._executor_lock = threading.Lock()
@@ -1823,10 +2191,49 @@ class RemoteShardedArchive(_ArchiveBase):
             "failovers": sum(s["failovers"] for s in health),
             "demotions": sum(s["demotions"] for s in health),
             "restorations": sum(s["restorations"] for s in health),
+            "catchups": sum(s["catchups"] for s in health),
+            "catchup_records": sum(s["catchup_records"] for s in health),
             "latency_window": self.request_latencies.maxlen,
             "latencies_recorded": len(self.request_latencies),
             "pool_size": self._pool_size,
+            "wal": self._wal_summary(),
         }
+
+    def _wal_summary(self) -> dict:
+        """Server-side WAL durability counters summed across shards.
+
+        One ``stats`` probe per shard (whichever replica serves reads);
+        shards running without a WAL directory contribute nothing.  An
+        unreachable fleet yields ``reachable: False`` rather than an
+        exception — ``backend_stats`` feeds metrics paths that must not
+        fail while the fleet is degraded.
+        """
+        summary = {
+            "enabled_shards": 0,
+            "records_appended": 0,
+            "fsyncs": 0,
+            "compactions": 0,
+            "unflushed_records": 0,
+            "reachable": True,
+        }
+        try:
+            per_shard = self.shard_stats()
+        except RemoteArchiveError:
+            summary["reachable"] = False
+            return summary
+        for shard in per_shard:
+            wal = shard.get("wal") or {}
+            if not wal.get("enabled"):
+                continue
+            summary["enabled_shards"] += 1
+            for key in (
+                "records_appended",
+                "fsyncs",
+                "compactions",
+                "unflushed_records",
+            ):
+                summary[key] += int(wal.get(key, 0))
+        return summary
 
 
 def _canonical_near_map(raw: Dict[int, List[int]]) -> Dict[int, List[int]]:
@@ -1859,7 +2266,7 @@ class _TripMeta:
 
 
 class RemoteTripSource:
-    """``repro.core.reference.TripSource`` over the ``repro-remote-v3`` wire.
+    """``repro.core.reference.TripSource`` over the ``repro-remote-v4`` wire.
 
     Reference assembly without a client-held trip store, in at most three
     request rounds per query pair:

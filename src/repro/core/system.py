@@ -123,7 +123,7 @@ class HRISConfig:
             ``"shard"`` runs the same kernel over the archive's
             ``trip_source()`` — shard servers summarise and assemble
             candidates from the observations they own
-            (``repro-remote-v3``), so the client needs no trip store.
+            (``repro-remote-v4``), so the client needs no trip store.
             Requires a backend exposing ``trip_source()`` (the remote
             backend).  Results are bit-identical either way.
     """

@@ -559,6 +559,9 @@ class InferenceGateway:
         engine = self._engine_stats()
         if engine is not None:
             payload["engine"] = engine
+        archive = self._archive_stats()
+        if archive is not None:
+            payload["archive"] = archive
         return json_response(200, payload)
 
     def _engine_stats(self) -> Optional[Dict[str, float]]:
@@ -584,6 +587,31 @@ class InferenceGateway:
                 for key, value in counters.items():
                     totals[key] = totals.get(key, 0) + value
         return totals
+
+    def _archive_stats(self) -> Optional[dict]:
+        """Archive-backend snapshot for the fleet behind this gateway.
+
+        Mirrors :meth:`_engine_stats` one layer down: each HRIS-bound
+        backend reaches its archive, whose ``backend_stats()`` carries the
+        replication-health, WAL durability (appends, fsyncs, compactions,
+        unflushed records) and log catch-up counters of the remote
+        backend.  Workers normally share one archive object — duplicates
+        are reported once; with several distinct archives the snapshots
+        are listed under ``"archives"``.  Non-HRIS backends contribute
+        nothing; with none at all the key is omitted.
+        """
+        seen: Dict[int, dict] = {}
+        for backend in self._backends:
+            owner = getattr(backend, "__self__", None)
+            archive = getattr(owner, "archive", None)
+            stats = getattr(archive, "backend_stats", None)
+            if stats is None or id(archive) in seen:
+                continue
+            seen[id(archive)] = stats()
+        if not seen:
+            return None
+        snapshots = list(seen.values())
+        return snapshots[0] if len(snapshots) == 1 else {"archives": snapshots}
 
     def _shed_response(self) -> Response:
         retry = str(max(1, math.ceil(self._config.retry_after_s)))

@@ -139,14 +139,31 @@ class Trajectory:
         return BBox.from_points([p.point for p in self.points])
 
     def nearest_index(self, q: Point) -> int:
-        """Index of ``nn(q, T)``: the observation nearest to ``q``."""
+        """Index of ``nn(q, T)``: the observation nearest to ``q``.
+
+        The scan compares squared distances under strict ``<`` (lowest
+        index wins ties) — the rule the shard-side anchor scans mirror.
+        Squared distances underflow to 0.0 for offsets below ~1e-162,
+        which can tie points whose true distances differ; exact ties are
+        therefore refined with ``distance_to`` (``math.hypot``, no
+        underflow) so the winner really is the nearest observation.
+        """
         best_i = 0
         best_d = math.inf
+        best_exact = None
         for i, p in enumerate(self.points):
             d = p.point.squared_distance_to(q)
             if d < best_d:
                 best_d = d
                 best_i = i
+                best_exact = None
+            elif d == best_d:
+                if best_exact is None:
+                    best_exact = self.points[best_i].point.distance_to(q)
+                exact = p.point.distance_to(q)
+                if exact < best_exact:
+                    best_exact = exact
+                    best_i = i
         return best_i
 
     def nearest_point(self, q: Point) -> GPSPoint:

@@ -54,6 +54,32 @@ class TestParser:
         assert args.replica_of == 1
         assert args.replica_id == 3
 
+    def test_archive_serve_wal_flags_parse(self):
+        args = build_parser().parse_args(
+            ["archive-serve", "--shard-index", "0", "--num-shards", "1",
+             "--wal-dir", "wal0", "--fsync", "interval",
+             "--fsync-interval", "0.2", "--compact-every", "128"]
+        )
+        assert args.wal_dir == "wal0"
+        assert args.fsync == "interval"
+        assert args.fsync_interval == 0.2
+        assert args.compact_every == 128
+
+    def test_archive_serve_defaults_to_always_fsync_no_wal(self):
+        args = build_parser().parse_args(
+            ["archive-serve", "--shard-index", "0", "--num-shards", "1"]
+        )
+        assert args.wal_dir is None
+        assert args.fsync == "always"
+        assert args.compact_every is None
+
+    def test_archive_serve_fsync_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["archive-serve", "--shard-index", "0", "--num-shards", "1",
+                 "--fsync", "sometimes"]
+            )
+
 
 class TestCommands:
     def test_generate_creates_artifacts(self, world_dir):
@@ -479,6 +505,20 @@ class TestServeCommand:
             == 2
         )
         assert "--replica-id" in capsys.readouterr().err
+
+    def test_archive_serve_rejects_bad_wal_flags(self, tmp_path, capsys):
+        base = ["archive-serve", "--shard-index", "0", "--num-shards", "1"]
+        assert main(base + ["--fsync-interval", "0"]) == 2
+        assert "--fsync-interval" in capsys.readouterr().err
+        assert (
+            main(base + ["--wal-dir", str(tmp_path / "w"), "--compact-every", "-1"])
+            == 2
+        )
+        assert "--compact-every" in capsys.readouterr().err
+        # Validation fires before the server (and its WAL dir) exists.
+        assert not (tmp_path / "w").exists()
+        assert main(base + ["--compact-every", "64"]) == 2
+        assert "--wal-dir" in capsys.readouterr().err
 
     def test_serve_gateway_end_to_end(self, world_dir):
         """``repro serve`` semantics through the library path the CLI uses.

@@ -196,13 +196,16 @@ class TestFailover:
             assert mem.add(trip) == remote.add(trip)  # no error surfaced
         victim_id = mem.trajectory_ids()[0]
         assert mem.remove(victim_id) and remote.remove(victim_id)
-        # The dead replica missed writes → permanently stale, never routed.
+        # The dead replica missed writes → demoted out of rotation (the
+        # half-open probe would repair it by log replay if it came back;
+        # dead, it stays out) and reads keep serving healthy peers.
         states = [
             r["state"]
             for health in remote.replica_health()
             for r in health["replicas"]
         ]
-        assert states.count("stale") == 1
+        assert states.count("open") == 1
+        assert states.count("closed") == len(states) - 1
         assert_identical_queries(mem, remote, rng, n_queries=8)
         remote.close()
 
@@ -265,9 +268,11 @@ class TestCircuitBreaker:
             direct.stop()
             behind.stop()
 
-    def test_replica_restarted_empty_is_never_restored(self):
-        """A probe must verify data currency, not just liveness: a replica
-        that restarts empty would serve wrong (bit-different) results."""
+    def test_replica_restarted_empty_is_repaired_by_log_replay(self):
+        """A probe must verify data currency, not just liveness — and since
+        the healthy peer retains the full mutation log, a replica that
+        restarts *empty* is repaired by replaying it (``log_since`` on the
+        donor, ``apply_log`` on the laggard) before re-entering rotation."""
         direct, behind, proxy, mem, remote, rng = self._single_shard_with_proxy()
         empty = None
         try:
@@ -280,12 +285,17 @@ class TestCircuitBreaker:
             empty = ArchiveShardServer(0, 1, TILE, replica_id=1, port=port).start()
             proxy.revive()
             # The replica is reachable again but lost its data: the
-            # half-open probe sees num_points=0 ≠ expected and marks it
-            # stale instead of restoring it.
+            # half-open probe sees num_points=0 ≠ expected, fetches the
+            # missing suffix (lsn 0 → head) from the healthy peer and
+            # replays it onto the laggard, then restores it.
             assert mem.points_near(probe, 900.0) == remote.points_near(probe, 900.0)
             health = remote.replica_health()[0]
-            assert [r["state"] for r in health["replicas"]] == ["closed", "stale"]
-            assert remote.backend_stats()["restorations"] == 0
+            assert [r["state"] for r in health["replicas"]] == ["closed", "closed"]
+            assert health["catchups"] == 1
+            assert health["catchup_records"] >= 1
+            assert remote.backend_stats()["restorations"] == 1
+            assert remote.backend_stats()["catchups"] == 1
+            assert empty.num_points == direct.num_points
             assert_identical_queries(mem, remote, rng, n_queries=6)
         finally:
             remote.close()
@@ -293,6 +303,82 @@ class TestCircuitBreaker:
             direct.stop()
             if empty is not None:
                 empty.stop()
+
+    def test_restarted_replica_stays_stale_when_log_compacted(self, tmp_path):
+        """Catch-up needs the donor to still hold the laggard's missing
+        records.  When compaction trimmed them into a snapshot, the probe
+        must mark the replica stale — honest demotion over silent
+        divergence — and keep serving from the healthy peer."""
+        direct = ArchiveShardServer(
+            0, 1, TILE, replica_id=0, wal_dir=tmp_path / "wal0", compact_every=4
+        ).start()
+        behind = ArchiveShardServer(0, 1, TILE, replica_id=1).start()
+        proxy = ChaosProxy(behind.address).start()
+        addrs = [
+            f"127.0.0.1:{direct.address[1]}",
+            f"127.0.0.1:{proxy.address[1]}",
+        ]
+        rng = np.random.default_rng(33)
+        empty = None
+        try:
+            # 6 trips → 6 insert records → the WAL compacts at record 4,
+            # so the donor's retained tail starts past an empty replica.
+            mem, remote = replicated_pair(
+                addrs, rng, n_trips=6, breaker_cooldown_s=0.0, timeout_s=1.0
+            )
+            probe = Point(1_000.0, 1_000.0)
+            remote.points_near(probe, 500.0)
+            proxy.kill()
+            remote.points_near(probe, 800.0)
+            port = behind.address[1]
+            behind.stop()
+            empty = ArchiveShardServer(0, 1, TILE, replica_id=1, port=port).start()
+            proxy.revive()
+            assert mem.points_near(probe, 900.0) == remote.points_near(probe, 900.0)
+            health = remote.replica_health()[0]
+            assert [r["state"] for r in health["replicas"]] == ["closed", "stale"]
+            assert health["catchups"] == 0
+            assert remote.backend_stats()["restorations"] == 0
+            assert_identical_queries(mem, remote, rng, n_queries=6)
+        finally:
+            remote.close()
+            proxy.stop()
+            direct.stop()
+            behind.stop()
+            if empty is not None:
+                empty.stop()
+
+    def test_lagging_replica_caught_up_after_missed_writes(self):
+        """The tentpole scenario: a replica misses live mutations while
+        down, comes back, and the probe replays exactly the missed suffix
+        — results stay bit-identical and the replica serves reads again."""
+        direct, behind, proxy, mem, remote, rng = self._single_shard_with_proxy()
+        try:
+            probe = Point(1_000.0, 1_000.0)
+            remote.points_near(probe, 500.0)
+            proxy.kill()
+            remote.points_near(probe, 800.0)  # breaker opens
+            # Writes continue while the replica is down: it lags the
+            # stream by these records.
+            for trip in random_trips(rng, 3):
+                assert mem.add(trip) == remote.add(trip)
+            victim_id = mem.trajectory_ids()[0]
+            assert mem.remove(victim_id) and remote.remove(victim_id)
+            before = behind.num_points
+            proxy.revive()
+            assert mem.points_near(probe, 900.0) == remote.points_near(probe, 900.0)
+            health = remote.replica_health()[0]
+            assert [r["state"] for r in health["replicas"]] == ["closed", "closed"]
+            assert health["catchups"] == 1
+            # 3 inserts + 1 delete missed → exactly 4 records replayed.
+            assert health["catchup_records"] == 4
+            assert behind.num_points == direct.num_points != before
+            assert_identical_queries(mem, remote, rng, n_queries=6)
+        finally:
+            remote.close()
+            proxy.stop()
+            direct.stop()
+            behind.stop()
 
     def test_scripted_drop_opens_breaker_deterministically(self):
         # Ordinals through the proxy: 0 = hello, 1..6 = the six inserts,
@@ -441,7 +527,7 @@ class TestTransportHardening:
                 _send_frame(sock, request)
                 reply = _recv_frame(sock)
                 assert reply["ok"] is True
-                assert reply["protocol"] == "repro-remote-v3"
+                assert reply["protocol"] == "repro-remote-v4"
                 assert reply["replica_id"] == 0
         finally:
             sock.close()

@@ -351,7 +351,11 @@ class TestMetrics:
                 payload = c.metrics().payload
         finally:
             gateway.stop()
-        assert set(payload) == {"endpoints", "gateway", "engine"}
+        assert set(payload) == {"endpoints", "gateway", "engine", "archive"}
+        # Both workers share one archive object: one snapshot, not a list.
+        archive = payload["archive"]
+        assert archive["backend"] in ("memory", "sharded")
+        assert archive["n_points"] > 0
         engine = payload["engine"]
         for key in (
             "searches",
@@ -373,6 +377,40 @@ class TestMetrics:
         # The served query really did route through the engine.
         assert engine["settled_nodes"] > 0
         assert engine["candidate_cache_misses"] > 0
+
+    def test_wal_and_catchup_counters_reach_metrics(self, world, tmp_path):
+        """A gateway over the remote archive surfaces the durability
+        spine on ``/metrics``: per-shard WAL counters summed by the
+        client plus the replica catch-up totals."""
+        from repro.core.archive import convert_archive
+        from repro.core.remote import ArchiveShardServer
+
+        scenario, hris, queries, direct = world
+        servers = [
+            ArchiveShardServer(i, 2, 800.0, wal_dir=tmp_path / f"wal{i}").start()
+            for i in range(2)
+        ]
+        addrs = [f"127.0.0.1:{s.address[1]}" for s in servers]
+        archive = convert_archive(scenario.archive, "remote", 800.0, addrs)
+        remote_hris = HRIS(scenario.network, archive, HRISConfig())
+        gateway = InferenceGateway(hris_backends(remote_hris, 1), GatewayConfig())
+        host, port = gateway.start()
+        try:
+            with GatewayClient(host, port) as c:
+                payload = c.metrics().payload
+        finally:
+            gateway.stop()
+            archive.close()
+            for server in servers:
+                server.stop()
+        stats = payload["archive"]
+        assert stats["backend"] == "remote"
+        assert stats["catchups"] == 0 and stats["catchup_records"] == 0
+        wal = stats["wal"]
+        assert wal["reachable"] is True
+        assert wal["enabled_shards"] == 2
+        assert wal["records_appended"] > 0
+        assert wal["unflushed_records"] == 0  # fsync=always
 
     def test_percentile_nearest_rank(self):
         values = [float(v) for v in range(1, 101)]

@@ -1,4 +1,4 @@
-"""Shard-side reference assembly (``repro-remote-v3``) identity tests.
+"""Shard-side reference assembly (``repro-remote-v4``) identity tests.
 
 The contract: :func:`repro.core.reference.assemble_references` over a
 :class:`~repro.core.remote.RemoteTripSource` must return *float-identical*

@@ -225,6 +225,69 @@ class TestPersistence:
         assert a in restored
 
 
+class TestCrashSafeSave:
+    """``save_archive`` stages into a temp directory and commits by atomic
+    rename — a fault *anywhere* mid-save leaves the previous archive
+    loadable and no staging debris behind."""
+
+    def test_fault_mid_write_preserves_existing_archive(self, tmp_path, monkeypatch):
+        import repro.core.archive as archive_mod
+
+        rng = np.random.default_rng(31)
+        mem, __ = random_archives(rng, n_trips=5)
+        target = tmp_path / "arch"
+        save_archive(mem, target)
+
+        def exploding_save(trips, path):
+            # Partial bytes reach the disk before the "crash" — exactly
+            # the torn write the staging directory must contain.
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write('{"torn":')
+            raise OSError("injected fault: device full mid-write")
+
+        bigger, __ = random_archives(np.random.default_rng(32), n_trips=9)
+        monkeypatch.setattr(archive_mod, "save_trajectories", exploding_save)
+        with pytest.raises(OSError, match="injected fault"):
+            save_archive(bigger, target)
+        monkeypatch.undo()
+
+        # The previous archive is untouched and loadable, the staging
+        # directory was cleaned up on the way out.
+        assert not (tmp_path / "arch.saving.tmp").exists()
+        assert not (tmp_path / "arch.prev.tmp").exists()
+        restored = load_archive(target)
+        assert restored.trajectory_ids() == mem.trajectory_ids()
+        assert restored.num_points == mem.num_points
+
+    def test_crash_between_renames_recovers_on_next_load(self, tmp_path):
+        """The narrowest window: old archive renamed to its stash but the
+        staged replacement never committed.  Load finds the stash and
+        restores it."""
+        import os
+
+        rng = np.random.default_rng(33)
+        mem, __ = random_archives(rng, n_trips=4)
+        target = tmp_path / "arch"
+        save_archive(mem, target)
+        os.rename(target, tmp_path / "arch.prev.tmp")  # simulated crash point
+
+        restored = load_archive(target)
+        assert target.exists()
+        assert not (tmp_path / "arch.prev.tmp").exists()
+        assert restored.trajectory_ids() == mem.trajectory_ids()
+
+    def test_successful_resave_replaces_and_leaves_no_debris(self, tmp_path):
+        rng = np.random.default_rng(34)
+        mem, __ = random_archives(rng, n_trips=3)
+        target = tmp_path / "arch"
+        save_archive(mem, target)
+        mem.add(straddling_trajectory())
+        save_archive(mem, target)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["arch"]
+        restored = load_archive(target)
+        assert restored.trajectory_ids() == mem.trajectory_ids()
+
+
 class TestInferenceIdentity:
     def test_hris_bit_identical_across_backends(self, corridor_world):
         """Acceptance: routes AND A_L identical between backends."""

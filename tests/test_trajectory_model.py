@@ -96,6 +96,14 @@ class TestNearest:
         t = traj([(0, 0, 0.0), (10, 0, 1.0)])
         assert t.nearest_index(Point(5, 0)) == 0
 
+    def test_nearest_refines_underflowed_squared_ties(self):
+        # Both squared distances underflow to 0.0 (5e-171² < min subnormal),
+        # but the true distances differ: the scan must fall back to the
+        # unsquared metric instead of letting the earlier index win a
+        # tie that only exists because of the underflow.
+        t = traj([(0.0, 5e-171, 0.0), (0.0, 0.0, 1.0)])
+        assert t.nearest_index(Point(0.0, 0.0)) == 1
+
 
 class TestSlicing:
     def test_slice_inclusive(self):

@@ -27,8 +27,12 @@ Configurations are named in ``_configs``; each is expected to be
 results-identical to the seed by construction.  The ``shard_reference``
 configuration is special: it spins up a loopback shard fleet and runs
 ``reference_mode="shard"``, so the diff also covers the
-``repro-remote-v3`` shard-side reference assembly and the client's
-cross-shard span stitching.
+``repro-remote-v4`` shard-side reference assembly and the client's
+cross-shard span stitching.  ``wal_recovery`` is the durability gate: it
+spawns real ``repro archive-serve --wal-dir`` subprocesses, SIGKILLs one
+mid-ingest, restarts it from its write-ahead log on disk, idempotently
+re-pushes the feed and requires bit-identical routes — a process death
+must never change an answer.
 """
 
 from __future__ import annotations
@@ -54,12 +58,16 @@ def _configs():
         # the matcher transition tables (bucket joins).
         "ch": HRISConfig(shortest_path="ch", transition_oracle="ch_buckets"),
         "no_landmarks": HRISConfig(n_landmarks=0),
-        # References assembled by a loopback shard fleet (repro-remote-v3);
+        # References assembled by a loopback shard fleet (repro-remote-v4);
         # check_live swaps the archive for a RemoteShardedArchive.
         "shard_reference": HRISConfig(reference_mode="shard"),
         # Served over HTTP by a loopback InferenceGateway; check_live
         # replays every query through the wire and diffs the JSON routes.
         "gateway": HRISConfig(),
+        # Durability: real archive-serve subprocesses with on-disk WALs,
+        # one SIGKILLed mid-ingest and restarted from its log; check_live
+        # rebuilds the fleet client against the recovered processes.
+        "wal_recovery": HRISConfig(),
     }
 
 
@@ -116,6 +124,8 @@ def check_live(config_name: str, n_queries: int, interval: float) -> int:
     print(f"{len(queries)} queries · config {config_name!r} vs seed baseline")
 
     servers = []
+    procs = []
+    wal_root = None
     archive = scenario.archive
     if config_name == "shard_reference":
         from repro.core.archive import convert_archive
@@ -129,6 +139,89 @@ def check_live(config_name: str, n_queries: int, interval: float) -> int:
         addrs = [f"127.0.0.1:{s.address[1]}" for s in servers]
         archive = convert_archive(scenario.archive, "remote", tile_size, addrs)
         print(f"loopback fleet: {num_shards} shards, tile={tile_size:.0f}m")
+    elif config_name == "wal_recovery":
+        import os
+        import re
+        import subprocess
+        import tempfile
+
+        from repro.core.archive import convert_archive, make_archive
+        from repro.core.remote import ShardUnavailableError
+
+        num_shards, tile_size = 2, 800.0
+        wal_root = Path(tempfile.mkdtemp(prefix="repro-wal-gate-"))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        announce_re = re.compile(r"serving .+ on ([\d.]+):(\d+),")
+
+        def spawn(shard_index: int):
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "archive-serve",
+                    "--shard-index",
+                    str(shard_index),
+                    "--num-shards",
+                    str(num_shards),
+                    "--tile-size",
+                    str(tile_size),
+                    "--wal-dir",
+                    str(wal_root / f"shard{shard_index}"),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=env,
+                cwd=str(REPO_ROOT),
+            )
+            while True:
+                line = proc.stdout.readline()
+                if not line:
+                    raise RuntimeError(
+                        f"shard {shard_index} exited before announcing "
+                        f"(rc={proc.poll()})"
+                    )
+                match = announce_re.search(line)
+                if match:
+                    return proc, f"{match.group(1)}:{match.group(2)}"
+
+        addrs = []
+        for i in range(num_shards):
+            proc, addr = spawn(i)
+            procs.append(proc)
+            addrs.append(addr)
+        print(f"subprocess fleet: {num_shards} shards with WALs under {wal_root}")
+
+        # Stream trips in and SIGKILL shard 0 halfway through: no clean
+        # shutdown, no final fsync beyond what each ack already forced.
+        feeder = make_archive("remote", tile_size, addrs)
+        trips = [scenario.archive._trajectories[t] for t in sorted(scenario.archive._trajectories)]
+        kill_at = len(trips) // 2
+        crash_seen = False
+        try:
+            for j, trip in enumerate(trips):
+                if j == kill_at:
+                    procs[0].kill()
+                    procs[0].wait(timeout=10)
+                feeder._restore(trip)
+        except ShardUnavailableError:
+            crash_seen = True
+        feeder.close()
+        if not crash_seen:
+            print("FAIL: SIGKILL of shard 0 was never observed by the feeder")
+            return 1
+        print(f"killed shard 0 (-9) after {kill_at}/{len(trips)} trips")
+
+        # Restart from the same WAL directory, then re-push the whole
+        # feed with a fresh client: acknowledged rows were recovered from
+        # the log, so the re-push is idempotent by construction.
+        proc0, addr0 = spawn(0)
+        procs[0] = proc0
+        addrs[0] = addr0
+        archive = convert_archive(scenario.archive, "remote", tile_size, addrs)
+        print("restarted shard 0 from its WAL and re-pushed the feed")
 
     try:
         h_seed = HRIS(scenario.network, scenario.archive, SEED_BASELINE)
@@ -160,10 +253,21 @@ def check_live(config_name: str, n_queries: int, interval: float) -> int:
         else:
             got = result_keys([h_cfg.infer_routes(q) for q in queries])
     finally:
-        if servers:
+        if archive is not scenario.archive:
             archive.close()
-            for server in servers:
-                server.stop()
+        for server in servers:
+            server.stop()
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except Exception:
+                    proc.kill()
+        if wal_root is not None:
+            import shutil
+
+            shutil.rmtree(wal_root, ignore_errors=True)
 
     diverged = [i for i, (a, b) in enumerate(zip(ref, got)) if a != b]
     if diverged:
